@@ -1,0 +1,46 @@
+//! Benchmarks regenerating the fairness figures (paper Figures 9, 10, 18,
+//! 19) at reduced scale, plus the raw simulator packet-forwarding rate.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use netsim::prelude::*;
+use tfmcc_experiments::{fairness_figs, Scale};
+
+fn bench_fairness_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fairness_figures");
+    group.sample_size(10);
+    group.bench_function("fig09_single_bottleneck_quick", |b| {
+        b.iter(|| black_box(fairness_figs::fig09_single_bottleneck(Scale::Quick)))
+    });
+    group.bench_function("fig10_tail_circuits_quick", |b| {
+        b.iter(|| black_box(fairness_figs::fig10_tail_circuits(Scale::Quick)))
+    });
+    group.bench_function("fig19_lossy_return_paths_quick", |b| {
+        b.iter(|| black_box(fairness_figs::fig19_lossy_return_paths(Scale::Quick)))
+    });
+    group.finish();
+}
+
+fn bench_simulator_forwarding(c: &mut Criterion) {
+    c.bench_function("netsim_cbr_10s_simulated", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(1);
+            let a = sim.add_node("a");
+            let bnode = sim.add_node("b");
+            sim.add_duplex_link(a, bnode, 1_250_000.0, 0.01, QueueDiscipline::drop_tail(100));
+            let sink = sim.add_agent(bnode, Port(1), Box::new(Sink::new(1.0)));
+            let dst = Dest::Unicast(Address::new(bnode, Port(1)));
+            sim.add_agent(
+                a,
+                Port(1),
+                Box::new(CbrSource::new(dst, FlowId(1), 1000, 1_000_000.0, 0.0)),
+            );
+            sim.run_until(SimTime::from_secs(10.0));
+            black_box(sim.agent::<Sink>(sink).unwrap().packets())
+        })
+    });
+}
+
+criterion_group!(benches, bench_fairness_figures, bench_simulator_forwarding);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Benchmarks regenerating the feedback-suppression figures (paper Figures
+//! 1–6): per-round simulation cost and the full figure pipelines at reduced
+//! scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use tfmcc_experiments::feedback_figs;
+use tfmcc_experiments::Scale;
+use tfmcc_feedback::{BiasMethod, FeedbackPlanner, FeedbackRound};
+use tfmcc_proto::prelude::TfmccConfig;
+
+fn bench_feedback_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("feedback_round");
+    for &n in &[100usize, 1000, 10_000] {
+        group.bench_with_input(BenchmarkId::new("worst_case", n), &n, |b, &n| {
+            let planner = FeedbackPlanner::from_config(&TfmccConfig::default());
+            let round = FeedbackRound::new(planner, 6.0, 1.0);
+            b.iter(|| black_box(round.simulate_worst_case(n, 1, 42)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("feedback_figures");
+    group.sample_size(10);
+    group.bench_function("fig01_bias_cdf", |b| {
+        b.iter(|| black_box(feedback_figs::fig01_bias_cdf(Scale::Quick)))
+    });
+    group.bench_function("fig03_cancellation", |b| {
+        b.iter(|| black_box(feedback_figs::fig03_cancellation(Scale::Quick)))
+    });
+    group.bench_function("fig04_expected_feedback", |b| {
+        b.iter(|| black_box(feedback_figs::fig04_expected_feedback(Scale::Quick)))
+    });
+    group.bench_function("fig05_response_time", |b| {
+        b.iter(|| black_box(feedback_figs::fig05_response_time(Scale::Quick)))
+    });
+    group.bench_function("fig06_feedback_quality", |b| {
+        b.iter(|| black_box(feedback_figs::fig06_feedback_quality(Scale::Quick)))
+    });
+    group.finish();
+}
+
+fn bench_timer_bias_methods(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bias_methods");
+    for method in [
+        BiasMethod::Unbiased,
+        BiasMethod::BasicOffset,
+        BiasMethod::ModifiedOffset,
+        BiasMethod::ModifiedN,
+    ] {
+        group.bench_function(format!("{method:?}"), |b| {
+            let mut planner = FeedbackPlanner::from_config(&TfmccConfig::default());
+            planner.method = method;
+            let round = FeedbackRound::new(planner, 6.0, 1.0);
+            b.iter(|| black_box(round.simulate_uniform(1000, 1, 7)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_feedback_round,
+    bench_figures,
+    bench_timer_bias_methods
+);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Micro-benchmarks of the TFMCC protocol hot paths: the control equation,
+//! loss-history updates, feedback timer draws and receiver data processing.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use tfmcc_model::throughput::{padhye_loss_rate, padhye_throughput};
+use tfmcc_proto::prelude::*;
+
+fn bench_control_equation(c: &mut Criterion) {
+    c.bench_function("padhye_throughput", |b| {
+        b.iter(|| padhye_throughput(black_box(1000.0), black_box(0.1), black_box(0.02)))
+    });
+    c.bench_function("padhye_loss_rate_inverse", |b| {
+        b.iter(|| padhye_loss_rate(black_box(1000.0), black_box(0.1), black_box(100_000.0)))
+    });
+}
+
+fn bench_loss_history(c: &mut Criterion) {
+    c.bench_function("loss_history_update_per_packet", |b| {
+        let config = TfmccConfig::default();
+        let mut history = LossHistory::new(&config);
+        let mut seq = 0u64;
+        let mut now = 0.0;
+        b.iter(|| {
+            // Drop every 100th packet.
+            if seq % 100 == 99 {
+                seq += 1;
+            }
+            let update = history.on_packet(seq, now, 0.05);
+            seq += 1;
+            now += 0.001;
+            black_box(update)
+        })
+    });
+}
+
+fn bench_feedback_timer(c: &mut Criterion) {
+    c.bench_function("feedback_timer_draw", |b| {
+        let planner = FeedbackPlanner::from_config(&TfmccConfig::default());
+        let mut x = 0.0_f64;
+        b.iter(|| {
+            x = (x + 0.001) % 1.0;
+            black_box(planner.timer(black_box(x), black_box(3.0), black_box(0.5 + x / 3.0)))
+        })
+    });
+}
+
+fn bench_receiver_on_data(c: &mut Criterion) {
+    c.bench_function("receiver_on_data", |b| {
+        let config = TfmccConfig::default();
+        let mut receiver = TfmccReceiver::new(ReceiverId(1), config);
+        let mut seq = 0u64;
+        let mut now = 0.0;
+        b.iter(|| {
+            let data = DataPacket {
+                seqno: seq,
+                timestamp: now,
+                current_rate: 200_000.0,
+                max_rtt: 0.2,
+                feedback_round: seq / 100,
+                slowstart: false,
+                clr: None,
+                rtt_echo: None,
+                suppression: None,
+                size: 1000,
+            };
+            seq += 1;
+            now += 0.005;
+            black_box(receiver.on_data(now, &data))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_control_equation,
+    bench_loss_history,
+    bench_feedback_timer,
+    bench_receiver_on_data
+);
+criterion_main!(benches);

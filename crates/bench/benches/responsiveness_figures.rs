@@ -1,0 +1,37 @@
+//! Benchmarks regenerating the responsiveness and startup figures (paper
+//! Figures 11–16, 20, 21) at reduced scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use tfmcc_experiments::{responsiveness_figs, startup_figs, Scale};
+
+fn bench_responsiveness(c: &mut Criterion) {
+    let mut group = c.benchmark_group("responsiveness_figures");
+    group.sample_size(10);
+    group.bench_function("fig11_loss_responsiveness_quick", |b| {
+        b.iter(|| black_box(responsiveness_figs::fig11_loss_responsiveness(Scale::Quick)))
+    });
+    group.bench_function("fig21_flow_doubling_quick", |b| {
+        b.iter(|| black_box(responsiveness_figs::fig21_flow_doubling(Scale::Quick)))
+    });
+    group.finish();
+}
+
+fn bench_startup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("startup_figures");
+    group.sample_size(10);
+    group.bench_function("fig12_rtt_measurements_quick", |b| {
+        b.iter(|| black_box(startup_figs::fig12_rtt_measurements(Scale::Quick)))
+    });
+    group.bench_function("fig14_slowstart_quick", |b| {
+        b.iter(|| black_box(startup_figs::fig14_slowstart(Scale::Quick)))
+    });
+    group.bench_function("fig15_late_join_quick", |b| {
+        b.iter(|| black_box(startup_figs::fig15_late_join(Scale::Quick)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_responsiveness, bench_startup);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Benchmarks regenerating the scaling figures (paper Figures 7 and 17) and
+//! the underlying order-statistics / expectation computations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use tfmcc_experiments::{scaling_figs, Scale};
+use tfmcc_model::{expected_min_gamma, expected_responses, scaling_degradation};
+
+fn bench_scaling_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling_figures");
+    group.sample_size(10);
+    group.bench_function("fig07_scaling_quick", |b| {
+        b.iter(|| black_box(scaling_figs::fig07_scaling(Scale::Quick)))
+    });
+    group.bench_function("fig17_loss_events_per_rtt", |b| {
+        b.iter(|| black_box(scaling_figs::fig17_loss_events_per_rtt(Scale::Quick)))
+    });
+    group.finish();
+}
+
+fn bench_order_statistics(c: &mut Criterion) {
+    let mut group = c.benchmark_group("order_statistics");
+    for &n in &[10u64, 1000, 100_000] {
+        group.bench_with_input(BenchmarkId::new("expected_min_gamma", n), &n, |b, &n| {
+            b.iter(|| black_box(expected_min_gamma(n, 8.0, 1.25)))
+        });
+    }
+    group.bench_function("scaling_degradation_n10000", |b| {
+        b.iter(|| black_box(scaling_degradation(10_000, 8, 0.1, 0.05, 1000.0)))
+    });
+    group.bench_function("expected_responses_n10000", |b| {
+        b.iter(|| black_box(expected_responses(10_000, 10_000.0, 4.0, 1.0)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling_figures, bench_order_statistics);
+criterion_main!(benches);

@@ -1,0 +1,1 @@
+//! Criterion benchmarks for the TFMCC reproduction (see the `benches/` directory).

@@ -1,0 +1,65 @@
+//! A discrete-event, packet-level network simulator.
+//!
+//! `netsim` is the substrate under the TFMCC reproduction: it plays the role
+//! ns-2 plays in the original paper.  It models
+//!
+//! * nodes connected by unidirectional links with bandwidth, propagation
+//!   delay, drop-tail or RED queues, and optional Bernoulli random loss;
+//! * unicast routing (shortest path by delay) and source-rooted multicast
+//!   distribution trees derived from the unicast routes;
+//! * protocol endpoints as [`sim::Agent`] trait objects that exchange
+//!   [`packet::Packet`]s and set timers through a [`sim::Context`];
+//! * measurement plumbing ([`stats::ThroughputMeter`],
+//!   [`stats::StatsRegistry`]) for pulling figures out of a finished run.
+//!
+//! The simulator is single-threaded and deterministic: the same seed and the
+//! same agent behaviour reproduce the same run bit for bit, which the
+//! experiment harness relies on.
+//!
+//! # Example
+//!
+//! ```
+//! use netsim::prelude::*;
+//!
+//! let mut sim = Simulator::new(42);
+//! let a = sim.add_node("a");
+//! let b = sim.add_node("b");
+//! sim.add_duplex_link(a, b, 125_000.0, 0.01, QueueDiscipline::drop_tail(50));
+//!
+//! let sink = sim.add_agent(b, Port(1), Box::new(Sink::new(1.0)));
+//! let dst = Dest::Unicast(Address::new(b, Port(1)));
+//! sim.add_agent(a, Port(1), Box::new(CbrSource::new(dst, FlowId(1), 1000, 50_000.0, 0.0)));
+//!
+//! sim.run_until(SimTime::from_secs(10.0));
+//! let received = sim.agent::<Sink>(sink).unwrap().meter().total_bytes();
+//! assert!(received > 400_000);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod apps;
+pub mod link;
+pub mod packet;
+pub mod queue;
+pub mod routing;
+pub mod sim;
+pub mod stats;
+pub mod time;
+pub mod topology;
+
+/// Convenient glob import of the most commonly used types.
+pub mod prelude {
+    pub use crate::apps::{CbrSource, Sink};
+    pub use crate::link::{LinkStats, LossModel};
+    pub use crate::packet::{
+        Address, AgentId, Dest, FlowId, GroupId, LinkId, NodeId, Packet, Payload, Port,
+    };
+    pub use crate::queue::{QueueDiscipline, RedConfig};
+    pub use crate::sim::{Agent, Context, Simulator, TimerId};
+    pub use crate::stats::{StatsRegistry, ThroughputMeter};
+    pub use crate::time::SimTime;
+    pub use crate::topology::{
+        dumbbell, star, Dumbbell, DumbbellConfig, Star, StarConfig, StarLeg,
+    };
+}

@@ -1,0 +1,286 @@
+//! Unidirectional links with bandwidth, propagation delay, a queue discipline
+//! and an optional random-loss model.
+//!
+//! Duplex connectivity is modelled as two independent unidirectional links,
+//! mirroring how the evaluation topologies (paper Figure 8, the star
+//! topologies of Sections 4.2–4.3, the tail circuits of Figure 10) are
+//! specified: per-direction bandwidth, delay and loss.
+
+use crate::packet::{LinkId, NodeId, Packet};
+use crate::queue::{EnqueueResult, Queue, QueueDiscipline};
+use crate::time::SimTime;
+
+/// Random loss applied to packets traversing a link, independent of queueing.
+///
+/// Used for the star-topology experiments where the paper configures links
+/// with fixed loss rates (0.1 %, 0.5 %, 2.5 %, 12.5 %) and for the lossy
+/// feedback paths of Appendix D.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LossModel {
+    /// No random loss; only queue overflows drop packets.
+    None,
+    /// Each packet is dropped independently with probability `p`.
+    Bernoulli {
+        /// Drop probability in `[0, 1]`.
+        p: f64,
+    },
+}
+
+impl LossModel {
+    /// Returns true if a packet should be dropped, given a uniform sample.
+    pub fn drops(&self, uniform: f64) -> bool {
+        match self {
+            LossModel::None => false,
+            LossModel::Bernoulli { p } => uniform < *p,
+        }
+    }
+}
+
+/// Per-link counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Packets accepted into the queue.
+    pub enqueued: u64,
+    /// Packets dropped because the queue was full (or RED early drop).
+    pub dropped_queue: u64,
+    /// Packets dropped by the random loss model.
+    pub dropped_loss: u64,
+    /// Packets fully delivered to the downstream node.
+    pub delivered: u64,
+    /// Bytes fully delivered to the downstream node.
+    pub delivered_bytes: u64,
+}
+
+/// A unidirectional link.
+#[derive(Debug)]
+pub struct Link {
+    /// This link's id.
+    pub id: LinkId,
+    /// Upstream node.
+    pub from: NodeId,
+    /// Downstream node.
+    pub to: NodeId,
+    /// Capacity in bytes per second.
+    pub bandwidth: f64,
+    /// Propagation delay in seconds.
+    pub delay: f64,
+    /// Random loss model applied at ingress.
+    pub loss: LossModel,
+    queue: Queue,
+    /// Packet currently being serialized onto the wire, if any.
+    in_flight: Option<Packet>,
+    /// Counters.
+    pub stats: LinkStats,
+}
+
+/// What a link did with a packet offered to it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LinkAccept {
+    /// The packet was queued (or started transmitting); if transmission
+    /// started, the completion time is returned so the caller can schedule a
+    /// `TxComplete` event.
+    Accepted {
+        /// `Some(t)` if the link was idle and serialization of this packet
+        /// completes at `t`.
+        tx_complete_at: Option<SimTime>,
+    },
+    /// The packet was dropped (loss model or full queue).
+    Dropped,
+}
+
+impl Link {
+    /// Creates an idle link.
+    pub fn new(
+        id: LinkId,
+        from: NodeId,
+        to: NodeId,
+        bandwidth: f64,
+        delay: f64,
+        discipline: QueueDiscipline,
+    ) -> Self {
+        assert!(bandwidth > 0.0, "link bandwidth must be positive");
+        assert!(delay >= 0.0, "link delay must be non-negative");
+        Link {
+            id,
+            from,
+            to,
+            bandwidth,
+            delay,
+            loss: LossModel::None,
+            queue: Queue::new(discipline),
+            in_flight: None,
+            stats: LinkStats::default(),
+        }
+    }
+
+    /// Serialization time of a packet of `size` bytes on this link.
+    pub fn tx_time(&self, size: u32) -> f64 {
+        f64::from(size) / self.bandwidth
+    }
+
+    /// Number of packets waiting in the queue (not counting the one in flight).
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Offers a packet to this link.
+    ///
+    /// `loss_uniform` and `queue_uniform` are independent uniform samples in
+    /// `[0, 1)` consumed by the loss model and RED respectively.
+    pub fn offer(
+        &mut self,
+        packet: Packet,
+        now: SimTime,
+        loss_uniform: f64,
+        queue_uniform: f64,
+    ) -> LinkAccept {
+        if self.loss.drops(loss_uniform) {
+            self.stats.dropped_loss += 1;
+            return LinkAccept::Dropped;
+        }
+        if self.in_flight.is_none() {
+            // Link idle: begin transmitting immediately, bypassing the queue.
+            let done = now + self.tx_time(packet.size);
+            self.stats.enqueued += 1;
+            self.in_flight = Some(packet);
+            return LinkAccept::Accepted {
+                tx_complete_at: Some(done),
+            };
+        }
+        match self.queue.enqueue(packet, now, queue_uniform) {
+            EnqueueResult::Queued => {
+                self.stats.enqueued += 1;
+                LinkAccept::Accepted {
+                    tx_complete_at: None,
+                }
+            }
+            EnqueueResult::DroppedFull | EnqueueResult::DroppedEarly => {
+                self.stats.dropped_queue += 1;
+                LinkAccept::Dropped
+            }
+        }
+    }
+
+    /// Completes the transmission of the in-flight packet.
+    ///
+    /// Returns the packet that finished serializing (to be delivered to the
+    /// downstream node after [`Link::delay`]) and, if another packet was
+    /// waiting, the completion time of its transmission.
+    pub fn tx_complete(&mut self, now: SimTime) -> (Packet, Option<SimTime>) {
+        let done = self
+            .in_flight
+            .take()
+            .expect("tx_complete called with no packet in flight");
+        self.stats.delivered += 1;
+        self.stats.delivered_bytes += u64::from(done.size);
+        let next = self.queue.dequeue(now);
+        let next_complete = next.map(|p| {
+            let t = now + self.tx_time(p.size);
+            self.in_flight = Some(p);
+            t
+        });
+        (done, next_complete)
+    }
+
+    /// True if a packet is currently being serialized.
+    pub fn is_busy(&self) -> bool {
+        self.in_flight.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{Address, Dest, FlowId, Payload, Port};
+
+    fn pkt(size: u32) -> Packet {
+        let a = Address::new(NodeId(0), Port(0));
+        Packet::new(a, Dest::Unicast(a), size, FlowId(0), Payload::empty())
+    }
+
+    fn link(bw: f64, delay: f64, qlen: usize) -> Link {
+        Link::new(
+            LinkId(0),
+            NodeId(0),
+            NodeId(1),
+            bw,
+            delay,
+            QueueDiscipline::drop_tail(qlen),
+        )
+    }
+
+    #[test]
+    fn idle_link_transmits_immediately() {
+        let mut l = link(1000.0, 0.01, 10);
+        let accept = l.offer(pkt(500), SimTime::ZERO, 0.9, 0.9);
+        match accept {
+            LinkAccept::Accepted { tx_complete_at } => {
+                assert_eq!(tx_complete_at.unwrap().as_secs(), 0.5);
+            }
+            _ => panic!("expected acceptance"),
+        }
+        assert!(l.is_busy());
+    }
+
+    #[test]
+    fn busy_link_queues_and_chains_transmissions() {
+        let mut l = link(1000.0, 0.0, 10);
+        l.offer(pkt(1000), SimTime::ZERO, 0.9, 0.9);
+        let second = l.offer(pkt(500), SimTime::ZERO, 0.9, 0.9);
+        assert_eq!(
+            second,
+            LinkAccept::Accepted {
+                tx_complete_at: None
+            }
+        );
+        assert_eq!(l.queue_len(), 1);
+        // First completes at t=1.0; the second starts then and takes 0.5 s.
+        let (done, next) = l.tx_complete(SimTime::from_secs(1.0));
+        assert_eq!(done.size, 1000);
+        assert_eq!(next.unwrap().as_secs(), 1.5);
+        let (done2, next2) = l.tx_complete(SimTime::from_secs(1.5));
+        assert_eq!(done2.size, 500);
+        assert!(next2.is_none());
+        assert!(!l.is_busy());
+        assert_eq!(l.stats.delivered, 2);
+        assert_eq!(l.stats.delivered_bytes, 1500);
+    }
+
+    #[test]
+    fn queue_overflow_drops() {
+        let mut l = link(1000.0, 0.0, 2);
+        l.offer(pkt(100), SimTime::ZERO, 0.9, 0.9); // in flight
+        l.offer(pkt(100), SimTime::ZERO, 0.9, 0.9); // queued 1
+        l.offer(pkt(100), SimTime::ZERO, 0.9, 0.9); // queued 2
+        let r = l.offer(pkt(100), SimTime::ZERO, 0.9, 0.9);
+        assert_eq!(r, LinkAccept::Dropped);
+        assert_eq!(l.stats.dropped_queue, 1);
+        assert_eq!(l.stats.enqueued, 3);
+    }
+
+    #[test]
+    fn bernoulli_loss_drops_based_on_sample() {
+        let mut l = link(1000.0, 0.0, 10);
+        l.loss = LossModel::Bernoulli { p: 0.25 };
+        assert_eq!(l.offer(pkt(100), SimTime::ZERO, 0.1, 0.9), LinkAccept::Dropped);
+        assert!(matches!(
+            l.offer(pkt(100), SimTime::ZERO, 0.5, 0.9),
+            LinkAccept::Accepted { .. }
+        ));
+        assert_eq!(l.stats.dropped_loss, 1);
+    }
+
+    #[test]
+    fn loss_model_none_never_drops() {
+        assert!(!LossModel::None.drops(0.0));
+        assert!(LossModel::Bernoulli { p: 1.0 }.drops(0.999));
+        assert!(!LossModel::Bernoulli { p: 0.0 }.drops(0.0001));
+    }
+
+    #[test]
+    fn tx_time_scales_with_size_and_bandwidth() {
+        let l = link(1_000_000.0, 0.0, 10);
+        assert_eq!(l.tx_time(1_000_000), 1.0);
+        assert_eq!(l.tx_time(500_000), 0.5);
+    }
+}

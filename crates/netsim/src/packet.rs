@@ -1,0 +1,193 @@
+//! Packets, addresses and flow identifiers.
+//!
+//! The simulator is protocol-agnostic: a [`Packet`] carries routing metadata
+//! (source address, destination, size, flow id) plus an opaque, cheaply
+//! cloneable [`Payload`] that the protocol agents downcast to their own
+//! header types.
+
+use std::any::Any;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::time::SimTime;
+
+/// Identifier of a node (host or router) in the topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub usize);
+
+/// Identifier of a unidirectional link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LinkId(pub usize);
+
+/// Identifier of an agent (protocol endpoint) attached to a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AgentId(pub usize);
+
+/// Identifier of a multicast group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GroupId(pub u32);
+
+/// Identifier of a flow, used for statistics attribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FlowId(pub u64);
+
+/// A port number distinguishing multiple agents on one node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Port(pub u16);
+
+/// A (node, port) pair identifying a protocol endpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Address {
+    /// Node the endpoint lives on.
+    pub node: NodeId,
+    /// Port the endpoint is bound to on that node.
+    pub port: Port,
+}
+
+impl Address {
+    /// Convenience constructor.
+    pub fn new(node: NodeId, port: Port) -> Self {
+        Self { node, port }
+    }
+}
+
+impl fmt::Display for Address {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}:{}", self.node.0, self.port.0)
+    }
+}
+
+/// Destination of a packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dest {
+    /// Deliver to a single endpoint, forwarding hop by hop.
+    Unicast(Address),
+    /// Deliver to every member of a multicast group subscribed on `port`,
+    /// replicating along the group's distribution tree.
+    Multicast {
+        /// Multicast group to fan out to.
+        group: GroupId,
+        /// Port the receivers are subscribed on.
+        port: Port,
+    },
+}
+
+/// Opaque protocol payload: an `Arc` to any `Send + Sync` value.
+///
+/// Cloning is cheap (reference count bump) which matters because multicast
+/// forwarding clones packets at every branching point of the distribution
+/// tree.
+#[derive(Clone)]
+pub struct Payload(Arc<dyn Any + Send + Sync>);
+
+impl Payload {
+    /// Wraps a protocol header/body value.
+    pub fn new<T: Any + Send + Sync>(value: T) -> Self {
+        Payload(Arc::new(value))
+    }
+
+    /// An empty payload for pure filler traffic.
+    pub fn empty() -> Self {
+        Payload(Arc::new(()))
+    }
+
+    /// Attempts to view the payload as a `T`.
+    pub fn downcast_ref<T: Any + Send + Sync>(&self) -> Option<&T> {
+        self.0.downcast_ref::<T>()
+    }
+
+    /// True if the payload is of type `T`.
+    pub fn is<T: Any + Send + Sync>(&self) -> bool {
+        self.0.is::<T>()
+    }
+}
+
+impl fmt::Debug for Payload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Payload(..)")
+    }
+}
+
+impl Default for Payload {
+    fn default() -> Self {
+        Payload::empty()
+    }
+}
+
+/// A packet in flight.
+#[derive(Debug, Clone)]
+pub struct Packet {
+    /// Unique id assigned by the simulator when the packet is first sent.
+    pub id: u64,
+    /// Sending endpoint.
+    pub src: Address,
+    /// Destination endpoint or multicast group.
+    pub dst: Dest,
+    /// Size on the wire in bytes (headers included), used for serialization
+    /// delay and queue accounting.
+    pub size: u32,
+    /// Flow this packet belongs to, for statistics.
+    pub flow: FlowId,
+    /// Simulation time at which the packet left the sending agent.
+    pub sent_at: SimTime,
+    /// Protocol payload.
+    pub payload: Payload,
+}
+
+impl Packet {
+    /// Builds a packet ready to hand to [`crate::sim::Context::send`].
+    ///
+    /// `id` and `sent_at` are filled in by the simulator.
+    pub fn new(src: Address, dst: Dest, size: u32, flow: FlowId, payload: Payload) -> Self {
+        Packet {
+            id: 0,
+            src,
+            dst,
+            size,
+            flow,
+            sent_at: SimTime::ZERO,
+            payload,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payload_downcasts_to_original_type() {
+        #[derive(Debug, PartialEq)]
+        struct Header {
+            seq: u32,
+        }
+        let p = Payload::new(Header { seq: 7 });
+        assert!(p.is::<Header>());
+        assert_eq!(p.downcast_ref::<Header>().unwrap().seq, 7);
+        assert!(p.downcast_ref::<u32>().is_none());
+    }
+
+    #[test]
+    fn payload_clone_shares_value() {
+        let p = Payload::new(vec![1u8, 2, 3]);
+        let q = p.clone();
+        assert_eq!(q.downcast_ref::<Vec<u8>>().unwrap(), &vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn packet_construction_defaults() {
+        let src = Address::new(NodeId(0), Port(1));
+        let dst = Dest::Unicast(Address::new(NodeId(1), Port(2)));
+        let pkt = Packet::new(src, dst, 1000, FlowId(3), Payload::empty());
+        assert_eq!(pkt.id, 0);
+        assert_eq!(pkt.size, 1000);
+        assert_eq!(pkt.flow, FlowId(3));
+        assert_eq!(pkt.src, src);
+    }
+
+    #[test]
+    fn address_display() {
+        let a = Address::new(NodeId(4), Port(9));
+        assert_eq!(format!("{a}"), "n4:9");
+    }
+}

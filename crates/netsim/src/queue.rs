@@ -1,0 +1,314 @@
+//! Router queue disciplines.
+//!
+//! The TFMCC paper evaluates over drop-tail queues ("to ensure acceptable
+//! behavior in the current Internet") and notes that fairness generally
+//! improves under RED.  Both are provided: [`QueueDiscipline::DropTail`] and
+//! [`QueueDiscipline::Red`] with the classic Floyd/Jacobson RED algorithm.
+
+use std::collections::VecDeque;
+
+use crate::packet::Packet;
+use crate::time::SimTime;
+
+/// Configuration of a queue discipline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueueDiscipline {
+    /// FIFO queue that drops arrivals once `limit_packets` are queued.
+    DropTail {
+        /// Maximum number of queued packets (the packet in transmission does
+        /// not count against the limit).
+        limit_packets: usize,
+    },
+    /// Random Early Detection.
+    Red(RedConfig),
+}
+
+impl QueueDiscipline {
+    /// A drop-tail queue with the given packet limit.
+    pub fn drop_tail(limit_packets: usize) -> Self {
+        QueueDiscipline::DropTail { limit_packets }
+    }
+
+    /// A RED queue with default parameters scaled to the given hard limit.
+    pub fn red(limit_packets: usize) -> Self {
+        QueueDiscipline::Red(RedConfig::for_limit(limit_packets))
+    }
+}
+
+/// RED parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RedConfig {
+    /// Minimum average-queue threshold below which no packet is dropped.
+    pub min_threshold: f64,
+    /// Maximum average-queue threshold above which every packet is dropped.
+    pub max_threshold: f64,
+    /// Drop probability at the maximum threshold.
+    pub max_drop_probability: f64,
+    /// Weight of the exponential moving average of the queue length.
+    pub queue_weight: f64,
+    /// Hard limit on the instantaneous queue length.
+    pub limit_packets: usize,
+}
+
+impl RedConfig {
+    /// Reasonable defaults given a hard queue limit: thresholds at 20 % and
+    /// 60 % of the limit, 10 % max drop probability, w_q = 0.002.
+    pub fn for_limit(limit_packets: usize) -> Self {
+        let limit = limit_packets.max(5) as f64;
+        RedConfig {
+            min_threshold: limit * 0.2,
+            max_threshold: limit * 0.6,
+            max_drop_probability: 0.1,
+            queue_weight: 0.002,
+            limit_packets,
+        }
+    }
+}
+
+/// Outcome of offering a packet to a queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EnqueueResult {
+    /// Packet was accepted and queued.
+    Queued,
+    /// Packet was dropped because the queue is full.
+    DroppedFull,
+    /// Packet was dropped by RED's early detection.
+    DroppedEarly,
+}
+
+/// A router queue instance.
+#[derive(Debug)]
+pub struct Queue {
+    discipline: QueueDiscipline,
+    packets: VecDeque<Packet>,
+    bytes: u64,
+    avg_queue: f64,
+    idle_since: Option<SimTime>,
+    red_count_since_drop: u64,
+}
+
+impl Queue {
+    /// Creates an empty queue with the given discipline.
+    pub fn new(discipline: QueueDiscipline) -> Self {
+        Queue {
+            discipline,
+            packets: VecDeque::new(),
+            bytes: 0,
+            avg_queue: 0.0,
+            idle_since: Some(SimTime::ZERO),
+            red_count_since_drop: 0,
+        }
+    }
+
+    /// Number of queued packets.
+    pub fn len(&self) -> usize {
+        self.packets.len()
+    }
+
+    /// True if no packet is queued.
+    pub fn is_empty(&self) -> bool {
+        self.packets.is_empty()
+    }
+
+    /// Total queued bytes.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Offers a packet to the queue.  `uniform` must be a fresh uniform random
+    /// sample in `[0, 1)` (used only by RED).
+    pub fn enqueue(&mut self, packet: Packet, now: SimTime, uniform: f64) -> EnqueueResult {
+        match &self.discipline {
+            QueueDiscipline::DropTail { limit_packets } => {
+                if self.packets.len() >= *limit_packets {
+                    EnqueueResult::DroppedFull
+                } else {
+                    self.bytes += u64::from(packet.size);
+                    self.packets.push_back(packet);
+                    EnqueueResult::Queued
+                }
+            }
+            QueueDiscipline::Red(cfg) => {
+                let cfg = cfg.clone();
+                self.enqueue_red(packet, now, uniform, &cfg)
+            }
+        }
+    }
+
+    fn enqueue_red(
+        &mut self,
+        packet: Packet,
+        now: SimTime,
+        uniform: f64,
+        cfg: &RedConfig,
+    ) -> EnqueueResult {
+        // Update the average queue size, accounting for idle time by decaying
+        // the average as if empty slots had been observed.
+        let current = self.packets.len() as f64;
+        if let Some(idle_start) = self.idle_since.take() {
+            // Approximate the number of "small packets" that could have been
+            // transmitted while idle; one slot per millisecond is a common
+            // simplification that keeps the average responsive after idling.
+            let idle = now.saturating_since(idle_start);
+            let slots = (idle / 0.001).min(10_000.0);
+            self.avg_queue *= (1.0 - cfg.queue_weight).powf(slots);
+        }
+        self.avg_queue = (1.0 - cfg.queue_weight) * self.avg_queue + cfg.queue_weight * current;
+
+        if self.packets.len() >= cfg.limit_packets {
+            self.red_count_since_drop = 0;
+            return EnqueueResult::DroppedFull;
+        }
+        if self.avg_queue >= cfg.max_threshold {
+            self.red_count_since_drop = 0;
+            return EnqueueResult::DroppedEarly;
+        }
+        if self.avg_queue > cfg.min_threshold {
+            let base = cfg.max_drop_probability * (self.avg_queue - cfg.min_threshold)
+                / (cfg.max_threshold - cfg.min_threshold);
+            // Spread drops out: probability increases with the count of
+            // packets accepted since the last drop.
+            let count = self.red_count_since_drop as f64;
+            let p = (base / (1.0 - count * base).max(1e-6)).clamp(0.0, 1.0);
+            if uniform < p {
+                self.red_count_since_drop = 0;
+                return EnqueueResult::DroppedEarly;
+            }
+            self.red_count_since_drop += 1;
+        } else {
+            self.red_count_since_drop = 0;
+        }
+        self.bytes += u64::from(packet.size);
+        self.packets.push_back(packet);
+        EnqueueResult::Queued
+    }
+
+    /// Removes the packet at the head of the queue, recording when the queue
+    /// goes idle (needed by RED's average).
+    pub fn dequeue(&mut self, now: SimTime) -> Option<Packet> {
+        let pkt = self.packets.pop_front();
+        if let Some(ref p) = pkt {
+            self.bytes -= u64::from(p.size);
+        }
+        if self.packets.is_empty() {
+            self.idle_since = Some(now);
+        }
+        pkt
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{Address, Dest, FlowId, NodeId, Payload, Port};
+
+    fn pkt(size: u32) -> Packet {
+        let a = Address::new(NodeId(0), Port(0));
+        Packet::new(a, Dest::Unicast(a), size, FlowId(0), Payload::empty())
+    }
+
+    #[test]
+    fn drop_tail_respects_limit() {
+        let mut q = Queue::new(QueueDiscipline::drop_tail(3));
+        for i in 0..3 {
+            assert_eq!(
+                q.enqueue(pkt(100), SimTime::from_secs(i as f64), 0.5),
+                EnqueueResult::Queued
+            );
+        }
+        assert_eq!(
+            q.enqueue(pkt(100), SimTime::from_secs(3.0), 0.5),
+            EnqueueResult::DroppedFull
+        );
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.bytes(), 300);
+    }
+
+    #[test]
+    fn drop_tail_fifo_order() {
+        let mut q = Queue::new(QueueDiscipline::drop_tail(10));
+        for size in [100, 200, 300] {
+            q.enqueue(pkt(size), SimTime::ZERO, 0.5);
+        }
+        assert_eq!(q.dequeue(SimTime::ZERO).unwrap().size, 100);
+        assert_eq!(q.dequeue(SimTime::ZERO).unwrap().size, 200);
+        assert_eq!(q.dequeue(SimTime::ZERO).unwrap().size, 300);
+        assert!(q.dequeue(SimTime::ZERO).is_none());
+        assert!(q.is_empty());
+        assert_eq!(q.bytes(), 0);
+    }
+
+    #[test]
+    fn red_accepts_when_average_low() {
+        let mut q = Queue::new(QueueDiscipline::red(100));
+        // Few packets: average stays below min threshold, nothing dropped.
+        for i in 0..5 {
+            assert_eq!(
+                q.enqueue(pkt(100), SimTime::from_secs(i as f64 * 0.01), 0.99),
+                EnqueueResult::Queued
+            );
+        }
+    }
+
+    #[test]
+    fn red_drops_under_sustained_load() {
+        let cfg = RedConfig {
+            min_threshold: 2.0,
+            max_threshold: 5.0,
+            max_drop_probability: 0.5,
+            queue_weight: 0.5, // aggressive averaging so the test converges fast
+            limit_packets: 50,
+        };
+        let mut q = Queue::new(QueueDiscipline::Red(cfg));
+        let mut dropped_early = 0;
+        for i in 0..100 {
+            let r = q.enqueue(pkt(100), SimTime::from_secs(i as f64 * 0.001), 0.3);
+            if r == EnqueueResult::DroppedEarly {
+                dropped_early += 1;
+            }
+        }
+        assert!(dropped_early > 0, "RED should have dropped some packets early");
+    }
+
+    #[test]
+    fn red_hard_limit_enforced() {
+        let cfg = RedConfig {
+            min_threshold: 1000.0, // never early-drop
+            max_threshold: 2000.0,
+            max_drop_probability: 0.1,
+            queue_weight: 0.002,
+            limit_packets: 4,
+        };
+        let mut q = Queue::new(QueueDiscipline::Red(cfg));
+        let mut full = 0;
+        for _ in 0..10 {
+            if q.enqueue(pkt(100), SimTime::ZERO, 0.99) == EnqueueResult::DroppedFull {
+                full += 1;
+            }
+        }
+        assert_eq!(q.len(), 4);
+        assert_eq!(full, 6);
+    }
+
+    #[test]
+    fn red_average_decays_while_idle() {
+        let cfg = RedConfig {
+            min_threshold: 2.0,
+            max_threshold: 4.0,
+            max_drop_probability: 1.0,
+            queue_weight: 0.5,
+            limit_packets: 50,
+        };
+        let mut q = Queue::new(QueueDiscipline::Red(cfg.clone()));
+        // Drive the average up.
+        for i in 0..20 {
+            q.enqueue(pkt(100), SimTime::from_secs(i as f64 * 1e-4), 0.99);
+        }
+        let avg_before = q.avg_queue;
+        // Drain and let it idle a long time; the next enqueue should see a
+        // much smaller average.
+        while q.dequeue(SimTime::from_secs(0.01)).is_some() {}
+        q.enqueue(pkt(100), SimTime::from_secs(10.0), 0.99);
+        assert!(q.avg_queue < avg_before * 0.5);
+    }
+}

@@ -1,0 +1,387 @@
+//! Unicast routing tables and multicast distribution trees.
+//!
+//! Routes are computed with Dijkstra's algorithm over link propagation delay
+//! (ties broken by hop count via a tiny per-hop epsilon), which makes the
+//! unicast paths of all evaluation topologies the obvious shortest paths.
+//! Multicast distribution trees are derived from the unicast routes: the tree
+//! rooted at a source is the union of the unicast paths from the source to
+//! every group member, which is exactly a shortest-path source tree and
+//! mirrors what DVMRP/PIM-SM would build on these topologies.
+
+use std::collections::{BinaryHeap, HashMap, HashSet};
+
+use crate::packet::{GroupId, LinkId, NodeId};
+
+/// Per-hop cost epsilon added to the delay metric so that equal-delay paths
+/// prefer fewer hops.
+const HOP_EPSILON: f64 = 1e-9;
+
+/// Directed adjacency description used for route computation.
+#[derive(Debug, Clone, Copy)]
+pub struct Edge {
+    /// Link id of this edge.
+    pub link: LinkId,
+    /// Upstream node.
+    pub from: NodeId,
+    /// Downstream node.
+    pub to: NodeId,
+    /// Propagation delay used as the routing metric.
+    pub delay: f64,
+}
+
+/// Unicast routing state: next-hop link per (source node, destination node).
+#[derive(Debug, Default)]
+pub struct RoutingTable {
+    /// `next_hop[src.0]` maps destination node to the outgoing link.
+    next_hop: Vec<HashMap<NodeId, LinkId>>,
+}
+
+impl RoutingTable {
+    /// Computes routes for `node_count` nodes over the given directed edges.
+    pub fn compute(node_count: usize, edges: &[Edge]) -> Self {
+        let mut adjacency: Vec<Vec<Edge>> = vec![Vec::new(); node_count];
+        for e in edges {
+            adjacency[e.from.0].push(*e);
+        }
+        let mut next_hop = vec![HashMap::new(); node_count];
+        for src in 0..node_count {
+            let (dist, first_link) = dijkstra(src, node_count, &adjacency);
+            for dst in 0..node_count {
+                if dst != src && dist[dst].is_finite() {
+                    if let Some(link) = first_link[dst] {
+                        next_hop[src].insert(NodeId(dst), link);
+                    }
+                }
+            }
+        }
+        RoutingTable { next_hop }
+    }
+
+    /// The outgoing link at `from` toward `to`, if a route exists.
+    pub fn next_hop(&self, from: NodeId, to: NodeId) -> Option<LinkId> {
+        self.next_hop.get(from.0).and_then(|m| m.get(&to)).copied()
+    }
+
+    /// The full path of links from `from` to `to`, if a route exists.
+    pub fn path(&self, from: NodeId, to: NodeId, edges: &[Edge]) -> Option<Vec<LinkId>> {
+        let by_id: HashMap<LinkId, &Edge> = edges.iter().map(|e| (e.link, e)).collect();
+        let mut path = Vec::new();
+        let mut cur = from;
+        let mut guard = 0;
+        while cur != to {
+            let link = self.next_hop(cur, to)?;
+            path.push(link);
+            cur = by_id.get(&link)?.to;
+            guard += 1;
+            if guard > edges.len() + 1 {
+                return None; // routing loop, should not happen
+            }
+        }
+        Some(path)
+    }
+}
+
+/// Dijkstra from `src`; returns (distance, first link on the path) per node.
+fn dijkstra(
+    src: usize,
+    node_count: usize,
+    adjacency: &[Vec<Edge>],
+) -> (Vec<f64>, Vec<Option<LinkId>>) {
+    #[derive(PartialEq)]
+    struct Entry {
+        dist: f64,
+        node: usize,
+    }
+    impl Eq for Entry {}
+    impl Ord for Entry {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            // Reverse for a min-heap; distances are finite and non-NaN.
+            other
+                .dist
+                .partial_cmp(&self.dist)
+                .expect("distances are never NaN")
+                .then(other.node.cmp(&self.node))
+        }
+    }
+    impl PartialOrd for Entry {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+
+    let mut dist = vec![f64::INFINITY; node_count];
+    let mut first_link: Vec<Option<LinkId>> = vec![None; node_count];
+    let mut heap = BinaryHeap::new();
+    dist[src] = 0.0;
+    heap.push(Entry {
+        dist: 0.0,
+        node: src,
+    });
+    let mut done = vec![false; node_count];
+    while let Some(Entry { dist: d, node }) = heap.pop() {
+        if done[node] {
+            continue;
+        }
+        done[node] = true;
+        for e in &adjacency[node] {
+            let nd = d + e.delay + HOP_EPSILON;
+            if nd < dist[e.to.0] {
+                dist[e.to.0] = nd;
+                first_link[e.to.0] = if node == src {
+                    Some(e.link)
+                } else {
+                    first_link[node]
+                };
+                heap.push(Entry {
+                    dist: nd,
+                    node: e.to.0,
+                });
+            }
+        }
+    }
+    (dist, first_link)
+}
+
+/// A source-rooted multicast distribution tree: for every node, the set of
+/// outgoing links on which packets of this (group, source) must be replicated.
+#[derive(Debug, Clone, Default)]
+pub struct DistributionTree {
+    children: HashMap<NodeId, Vec<LinkId>>,
+}
+
+impl DistributionTree {
+    /// Builds the tree rooted at `source` spanning `members` (node ids of the
+    /// group's receivers) as the union of unicast paths.
+    pub fn build(
+        source: NodeId,
+        members: &HashSet<NodeId>,
+        routes: &RoutingTable,
+        edges: &[Edge],
+    ) -> Self {
+        let by_id: HashMap<LinkId, &Edge> = edges.iter().map(|e| (e.link, e)).collect();
+        let mut children: HashMap<NodeId, HashSet<LinkId>> = HashMap::new();
+        for &member in members {
+            if member == source {
+                continue;
+            }
+            let mut cur = source;
+            let mut guard = 0;
+            while cur != member {
+                let Some(link) = routes.next_hop(cur, member) else {
+                    break; // unreachable member: skip
+                };
+                children.entry(cur).or_default().insert(link);
+                cur = match by_id.get(&link) {
+                    Some(e) => e.to,
+                    None => break,
+                };
+                guard += 1;
+                if guard > edges.len() + 1 {
+                    break;
+                }
+            }
+        }
+        DistributionTree {
+            children: children
+                .into_iter()
+                .map(|(n, set)| {
+                    let mut v: Vec<LinkId> = set.into_iter().collect();
+                    v.sort();
+                    (n, v)
+                })
+                .collect(),
+        }
+    }
+
+    /// Outgoing links at `node` for this tree.
+    pub fn out_links(&self, node: NodeId) -> &[LinkId] {
+        self.children.get(&node).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Total number of edges in the tree.
+    pub fn edge_count(&self) -> usize {
+        self.children.values().map(Vec::len).sum()
+    }
+}
+
+/// Multicast group membership plus cached distribution trees.
+#[derive(Debug, Default)]
+pub struct MulticastState {
+    /// Group -> member node set.
+    members: HashMap<GroupId, HashSet<NodeId>>,
+    /// Cached trees keyed by (group, source node).
+    trees: HashMap<(GroupId, NodeId), DistributionTree>,
+}
+
+impl MulticastState {
+    /// Adds `node` to `group`, invalidating cached trees for the group.
+    pub fn join(&mut self, group: GroupId, node: NodeId) {
+        self.members.entry(group).or_default().insert(node);
+        self.trees.retain(|(g, _), _| *g != group);
+    }
+
+    /// Removes `node` from `group`, invalidating cached trees for the group.
+    pub fn leave(&mut self, group: GroupId, node: NodeId) {
+        if let Some(set) = self.members.get_mut(&group) {
+            set.remove(&node);
+        }
+        self.trees.retain(|(g, _), _| *g != group);
+    }
+
+    /// Member node set of a group (empty if the group does not exist).
+    pub fn members(&self, group: GroupId) -> HashSet<NodeId> {
+        self.members.get(&group).cloned().unwrap_or_default()
+    }
+
+    /// Returns (building and caching if necessary) the distribution tree for
+    /// `group` rooted at `source`.
+    pub fn tree(
+        &mut self,
+        group: GroupId,
+        source: NodeId,
+        routes: &RoutingTable,
+        edges: &[Edge],
+    ) -> &DistributionTree {
+        let members = self.members(group);
+        self.trees
+            .entry((group, source))
+            .or_insert_with(|| DistributionTree::build(source, &members, routes, edges))
+    }
+
+    /// Drops every cached tree (used after topology changes).
+    pub fn invalidate(&mut self) {
+        self.trees.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds a small test graph:
+    ///
+    /// ```text
+    ///      0 ── 1 ── 2
+    ///            │
+    ///            3
+    /// ```
+    /// with unit delays; links are numbered in creation order, both
+    /// directions.
+    fn line_graph() -> (usize, Vec<Edge>) {
+        let mut edges = Vec::new();
+        let mut add = |from: usize, to: usize, delay: f64| {
+            let id = edges.len();
+            edges.push(Edge {
+                link: LinkId(id),
+                from: NodeId(from),
+                to: NodeId(to),
+                delay,
+            });
+        };
+        add(0, 1, 0.01);
+        add(1, 0, 0.01);
+        add(1, 2, 0.01);
+        add(2, 1, 0.01);
+        add(1, 3, 0.01);
+        add(3, 1, 0.01);
+        (4, edges)
+    }
+
+    #[test]
+    fn unicast_routes_follow_shortest_path() {
+        let (n, edges) = line_graph();
+        let rt = RoutingTable::compute(n, &edges);
+        // 0 -> 2 goes via node 1.
+        assert_eq!(rt.next_hop(NodeId(0), NodeId(2)), Some(LinkId(0)));
+        assert_eq!(rt.next_hop(NodeId(1), NodeId(2)), Some(LinkId(2)));
+        // 2 -> 3 goes back through 1.
+        assert_eq!(rt.next_hop(NodeId(2), NodeId(3)), Some(LinkId(3)));
+        // Full path reconstruction.
+        let path = rt.path(NodeId(0), NodeId(3), &edges).unwrap();
+        assert_eq!(path, vec![LinkId(0), LinkId(4)]);
+    }
+
+    #[test]
+    fn unreachable_destination_has_no_route() {
+        let edges = vec![Edge {
+            link: LinkId(0),
+            from: NodeId(0),
+            to: NodeId(1),
+            delay: 0.01,
+        }];
+        let rt = RoutingTable::compute(3, &edges);
+        assert_eq!(rt.next_hop(NodeId(0), NodeId(2)), None);
+        assert_eq!(rt.next_hop(NodeId(1), NodeId(0)), None); // one-way link
+    }
+
+    #[test]
+    fn dijkstra_prefers_lower_delay() {
+        // Two paths 0->2: direct (delay 0.1) and via 1 (total 0.04).
+        let edges = vec![
+            Edge {
+                link: LinkId(0),
+                from: NodeId(0),
+                to: NodeId(2),
+                delay: 0.1,
+            },
+            Edge {
+                link: LinkId(1),
+                from: NodeId(0),
+                to: NodeId(1),
+                delay: 0.02,
+            },
+            Edge {
+                link: LinkId(2),
+                from: NodeId(1),
+                to: NodeId(2),
+                delay: 0.02,
+            },
+        ];
+        let rt = RoutingTable::compute(3, &edges);
+        assert_eq!(rt.next_hop(NodeId(0), NodeId(2)), Some(LinkId(1)));
+    }
+
+    #[test]
+    fn distribution_tree_is_union_of_paths() {
+        let (n, edges) = line_graph();
+        let rt = RoutingTable::compute(n, &edges);
+        let members: HashSet<NodeId> = [NodeId(2), NodeId(3)].into_iter().collect();
+        let tree = DistributionTree::build(NodeId(0), &members, &rt, &edges);
+        // Node 0 forwards once toward node 1; node 1 branches to 2 and 3.
+        assert_eq!(tree.out_links(NodeId(0)), &[LinkId(0)]);
+        let mut at1 = tree.out_links(NodeId(1)).to_vec();
+        at1.sort();
+        assert_eq!(at1, vec![LinkId(2), LinkId(4)]);
+        assert_eq!(tree.out_links(NodeId(2)), &[] as &[LinkId]);
+        assert_eq!(tree.edge_count(), 3);
+    }
+
+    #[test]
+    fn multicast_membership_and_tree_cache() {
+        let (n, edges) = line_graph();
+        let rt = RoutingTable::compute(n, &edges);
+        let mut mc = MulticastState::default();
+        let g = GroupId(1);
+        mc.join(g, NodeId(2));
+        assert_eq!(mc.members(g).len(), 1);
+        let t1_edges = mc.tree(g, NodeId(0), &rt, &edges).edge_count();
+        assert_eq!(t1_edges, 2); // 0->1->2
+        mc.join(g, NodeId(3));
+        let t2_edges = mc.tree(g, NodeId(0), &rt, &edges).edge_count();
+        assert_eq!(t2_edges, 3); // tree rebuilt after join
+        mc.leave(g, NodeId(2));
+        let t3_edges = mc.tree(g, NodeId(0), &rt, &edges).edge_count();
+        assert_eq!(t3_edges, 2); // 0->1->3
+        mc.leave(g, NodeId(3));
+        assert_eq!(mc.tree(g, NodeId(0), &rt, &edges).edge_count(), 0);
+    }
+
+    #[test]
+    fn source_inside_member_set_is_ignored() {
+        let (n, edges) = line_graph();
+        let rt = RoutingTable::compute(n, &edges);
+        let members: HashSet<NodeId> = [NodeId(0), NodeId(2)].into_iter().collect();
+        let tree = DistributionTree::build(NodeId(0), &members, &rt, &edges);
+        assert_eq!(tree.edge_count(), 2); // only the path to node 2
+    }
+}

@@ -1,0 +1,909 @@
+//! The discrete-event simulator core: event queue, world state, the
+//! [`Agent`] trait protocol endpoints implement, and the [`Context`] handed
+//! to agents for interacting with the simulated network.
+//!
+//! # Structure
+//!
+//! The [`Simulator`] owns two halves:
+//!
+//! * the [`World`]: event queue, nodes, links, routing, multicast state,
+//!   statistics and the RNG used for link loss / RED;
+//! * the agents: boxed [`Agent`] trait objects attached to `(node, port)`
+//!   addresses.
+//!
+//! When an event targets an agent, the agent is temporarily taken out of its
+//! slot and invoked with a [`Context`] that borrows only the world, so agents
+//! can freely send packets, schedule timers and join multicast groups from
+//! within their callbacks without aliasing issues.
+
+use std::any::Any;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::link::{Link, LinkAccept, LinkStats, LossModel};
+use crate::packet::{Address, AgentId, Dest, GroupId, LinkId, NodeId, Packet, Port};
+use crate::queue::QueueDiscipline;
+use crate::routing::{Edge, MulticastState, RoutingTable};
+use crate::stats::StatsRegistry;
+use crate::time::SimTime;
+
+/// Handle for a scheduled timer, usable to cancel it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimerId(u64);
+
+/// A protocol endpoint attached to a node.
+///
+/// Implementations also provide `as_any`/`as_any_mut` so experiments can
+/// downcast a finished simulation's agents back to their concrete type to
+/// read out measurements.
+pub trait Agent: Any {
+    /// Called once when the simulation starts (or when the agent is added to
+    /// an already-running simulation).
+    fn start(&mut self, _ctx: &mut Context<'_>) {}
+
+    /// Called when a packet addressed to this agent is delivered.
+    fn on_packet(&mut self, _ctx: &mut Context<'_>, _packet: Packet) {}
+
+    /// Called when a timer scheduled by this agent fires.
+    fn on_timer(&mut self, _ctx: &mut Context<'_>, _token: u64) {}
+
+    /// Upcast for downcasting to the concrete agent type.
+    fn as_any(&self) -> &dyn Any;
+
+    /// Mutable upcast for downcasting to the concrete agent type.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+#[derive(Debug)]
+enum EventKind {
+    AgentStart { agent: AgentId },
+    Timer { agent: AgentId, token: u64, timer: TimerId },
+    Deliver { agent: AgentId, packet: Packet },
+    NodeArrival { node: NodeId, packet: Packet },
+    LinkTxComplete { link: LinkId },
+}
+
+#[derive(Debug)]
+struct QueuedEvent {
+    time: SimTime,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for QueuedEvent {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for QueuedEvent {}
+impl Ord for QueuedEvent {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.time.cmp(&other.time).then(self.seq.cmp(&other.seq))
+    }
+}
+impl PartialOrd for QueuedEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[derive(Debug, Default)]
+struct Node {
+    #[allow(dead_code)]
+    name: String,
+    agents: HashMap<Port, AgentId>,
+    subscriptions: HashMap<GroupId, HashSet<AgentId>>,
+}
+
+/// Everything in the simulation except the agents themselves.
+pub struct World {
+    now: SimTime,
+    queue: BinaryHeap<Reverse<QueuedEvent>>,
+    seq: u64,
+    nodes: Vec<Node>,
+    links: Vec<Link>,
+    edges: Vec<Edge>,
+    routes: RoutingTable,
+    routes_dirty: bool,
+    multicast: MulticastState,
+    stats: StatsRegistry,
+    agent_addrs: Vec<Address>,
+    cancelled_timers: HashSet<u64>,
+    next_timer: u64,
+    next_packet: u64,
+    rng: SmallRng,
+    events_processed: u64,
+}
+
+impl World {
+    fn new(seed: u64) -> Self {
+        World {
+            now: SimTime::ZERO,
+            queue: BinaryHeap::new(),
+            seq: 0,
+            nodes: Vec::new(),
+            links: Vec::new(),
+            edges: Vec::new(),
+            routes: RoutingTable::default(),
+            routes_dirty: true,
+            multicast: MulticastState::default(),
+            stats: StatsRegistry::new(),
+            agent_addrs: Vec::new(),
+            cancelled_timers: HashSet::new(),
+            next_timer: 0,
+            next_packet: 0,
+            rng: SmallRng::seed_from_u64(seed),
+            events_processed: 0,
+        }
+    }
+
+    fn push_event(&mut self, time: SimTime, kind: EventKind) {
+        debug_assert!(time >= self.now, "cannot schedule into the past");
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(QueuedEvent { time, seq, kind }));
+    }
+
+    fn ensure_routes(&mut self) {
+        if self.routes_dirty {
+            self.routes = RoutingTable::compute(self.nodes.len(), &self.edges);
+            self.multicast.invalidate();
+            self.routes_dirty = false;
+        }
+    }
+
+    /// Routes a packet that is present at `node` (either just sent by a local
+    /// agent or arriving from a link).
+    fn route_packet(&mut self, node: NodeId, packet: Packet) {
+        self.ensure_routes();
+        match packet.dst {
+            Dest::Unicast(addr) => {
+                if addr.node == node {
+                    match self.nodes[node.0].agents.get(&addr.port) {
+                        Some(&agent) => {
+                            self.push_event(self.now, EventKind::Deliver { agent, packet });
+                        }
+                        None => self.stats.add("drops.no_listener", 1.0),
+                    }
+                } else {
+                    match self.routes.next_hop(node, addr.node) {
+                        Some(link) => self.offer_to_link(link, packet),
+                        None => self.stats.add("drops.no_route", 1.0),
+                    }
+                }
+            }
+            Dest::Multicast { group, port } => {
+                // Local delivery to subscribed agents (except the sender).
+                let local: Vec<AgentId> = self.nodes[node.0]
+                    .subscriptions
+                    .get(&group)
+                    .map(|set| {
+                        let mut v: Vec<AgentId> = set
+                            .iter()
+                            .copied()
+                            .filter(|a| {
+                                let addr = self.agent_addrs[a.0];
+                                addr.port == port && addr != packet.src
+                            })
+                            .collect();
+                        v.sort();
+                        v
+                    })
+                    .unwrap_or_default();
+                for agent in local {
+                    self.push_event(
+                        self.now,
+                        EventKind::Deliver {
+                            agent,
+                            packet: packet.clone(),
+                        },
+                    );
+                }
+                // Replicate along the distribution tree rooted at the source.
+                let out: Vec<LinkId> = {
+                    let tree =
+                        self.multicast
+                            .tree(group, packet.src.node, &self.routes, &self.edges);
+                    tree.out_links(node).to_vec()
+                };
+                for link in out {
+                    self.offer_to_link(link, packet.clone());
+                }
+            }
+        }
+    }
+
+    fn offer_to_link(&mut self, link_id: LinkId, packet: Packet) {
+        let loss_uniform: f64 = self.rng.gen();
+        let queue_uniform: f64 = self.rng.gen();
+        let now = self.now;
+        let link = &mut self.links[link_id.0];
+        match link.offer(packet, now, loss_uniform, queue_uniform) {
+            LinkAccept::Accepted {
+                tx_complete_at: Some(t),
+            } => self.push_event(t, EventKind::LinkTxComplete { link: link_id }),
+            LinkAccept::Accepted {
+                tx_complete_at: None,
+            } => {}
+            LinkAccept::Dropped => self.stats.add("drops.link", 1.0),
+        }
+    }
+
+    fn handle_link_tx_complete(&mut self, link_id: LinkId) {
+        let now = self.now;
+        let (packet, next) = self.links[link_id.0].tx_complete(now);
+        let delay = self.links[link_id.0].delay;
+        let to = self.links[link_id.0].to;
+        self.push_event(now + delay, EventKind::NodeArrival { node: to, packet });
+        if let Some(t) = next {
+            self.push_event(t, EventKind::LinkTxComplete { link: link_id });
+        }
+    }
+}
+
+/// The handle agents use to interact with the simulation from inside their
+/// callbacks.
+pub struct Context<'a> {
+    world: &'a mut World,
+    agent: AgentId,
+    addr: Address,
+}
+
+impl Context<'_> {
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.world.now
+    }
+
+    /// Address of the agent being invoked.
+    pub fn addr(&self) -> Address {
+        self.addr
+    }
+
+    /// Id of the agent being invoked.
+    pub fn agent_id(&self) -> AgentId {
+        self.agent
+    }
+
+    /// Sends a packet.  The packet's `id` and `sent_at` fields are stamped by
+    /// the simulator; the source address is forced to this agent's address.
+    pub fn send(&mut self, mut packet: Packet) {
+        packet.id = self.world.next_packet;
+        self.world.next_packet += 1;
+        packet.sent_at = self.world.now;
+        packet.src = self.addr;
+        let node = self.addr.node;
+        self.world.route_packet(node, packet);
+    }
+
+    /// Schedules a timer `delay` seconds from now; `token` is passed back to
+    /// [`Agent::on_timer`].
+    pub fn schedule(&mut self, delay: f64, token: u64) -> TimerId {
+        assert!(delay >= 0.0, "timer delay must be non-negative");
+        let timer = TimerId(self.world.next_timer);
+        self.world.next_timer += 1;
+        let at = self.world.now + delay;
+        self.world.push_event(
+            at,
+            EventKind::Timer {
+                agent: self.agent,
+                token,
+                timer,
+            },
+        );
+        timer
+    }
+
+    /// Cancels a previously scheduled timer (no-op if it already fired).
+    pub fn cancel(&mut self, timer: TimerId) {
+        self.world.cancelled_timers.insert(timer.0);
+    }
+
+    /// Subscribes this agent (and its node) to a multicast group.
+    pub fn join_group(&mut self, group: GroupId) {
+        let node = self.addr.node;
+        self.world.multicast.join(group, node);
+        self.world.nodes[node.0]
+            .subscriptions
+            .entry(group)
+            .or_default()
+            .insert(self.agent);
+    }
+
+    /// Unsubscribes this agent from a multicast group.  The node leaves the
+    /// group once no agent on it remains subscribed.
+    pub fn leave_group(&mut self, group: GroupId) {
+        let node = self.addr.node;
+        if let Some(set) = self.world.nodes[node.0].subscriptions.get_mut(&group) {
+            set.remove(&self.agent);
+            if set.is_empty() {
+                self.world.multicast.leave(group, node);
+            }
+        }
+    }
+
+    /// Shared statistics registry.
+    pub fn stats(&mut self) -> &mut StatsRegistry {
+        &mut self.world.stats
+    }
+
+    /// A uniform random sample in `[0, 1)` from the simulation RNG.
+    ///
+    /// Agents that need heavier random machinery should own their own
+    /// deterministic RNG; this is a convenience for one-off draws.
+    pub fn uniform(&mut self) -> f64 {
+        self.world.rng.gen()
+    }
+}
+
+/// The discrete-event simulator.
+pub struct Simulator {
+    world: World,
+    agents: Vec<Option<Box<dyn Agent>>>,
+}
+
+impl Simulator {
+    /// Creates an empty simulation with a deterministic RNG seed.
+    pub fn new(seed: u64) -> Self {
+        Simulator {
+            world: World::new(seed),
+            agents: Vec::new(),
+        }
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.world.now
+    }
+
+    /// Number of events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.world.events_processed
+    }
+
+    /// Adds a node and returns its id.
+    pub fn add_node(&mut self, name: &str) -> NodeId {
+        let id = NodeId(self.world.nodes.len());
+        self.world.nodes.push(Node {
+            name: name.to_string(),
+            ..Node::default()
+        });
+        self.world.routes_dirty = true;
+        id
+    }
+
+    /// Adds a unidirectional link and returns its id.
+    ///
+    /// `bandwidth` is in bytes per second, `delay` in seconds.
+    pub fn add_link(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        bandwidth: f64,
+        delay: f64,
+        discipline: QueueDiscipline,
+    ) -> LinkId {
+        assert!(from.0 < self.world.nodes.len(), "unknown from node");
+        assert!(to.0 < self.world.nodes.len(), "unknown to node");
+        let id = LinkId(self.world.links.len());
+        self.world
+            .links
+            .push(Link::new(id, from, to, bandwidth, delay, discipline));
+        self.world.edges.push(Edge {
+            link: id,
+            from,
+            to,
+            delay,
+        });
+        self.world.routes_dirty = true;
+        id
+    }
+
+    /// Adds a pair of unidirectional links (one per direction) with identical
+    /// parameters; returns `(a_to_b, b_to_a)`.
+    pub fn add_duplex_link(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        bandwidth: f64,
+        delay: f64,
+        discipline: QueueDiscipline,
+    ) -> (LinkId, LinkId) {
+        let ab = self.add_link(a, b, bandwidth, delay, discipline.clone());
+        let ba = self.add_link(b, a, bandwidth, delay, discipline);
+        (ab, ba)
+    }
+
+    /// Sets the random-loss model of a link.
+    pub fn set_link_loss(&mut self, link: LinkId, loss: LossModel) {
+        self.world.links[link.0].loss = loss;
+    }
+
+    /// Changes the propagation delay of a link at runtime (used by the
+    /// RTT-responsiveness experiments).  Routing is recomputed because the
+    /// delay is the routing metric.
+    pub fn set_link_delay(&mut self, link: LinkId, delay: f64) {
+        assert!(delay >= 0.0, "delay must be non-negative");
+        self.world.links[link.0].delay = delay;
+        if let Some(edge) = self.world.edges.iter_mut().find(|e| e.link == link) {
+            edge.delay = delay;
+        }
+        self.world.routes_dirty = true;
+    }
+
+    /// Per-link statistics.
+    pub fn link_stats(&self, link: LinkId) -> LinkStats {
+        self.world.links[link.0].stats
+    }
+
+    /// Current queue length of a link.
+    pub fn link_queue_len(&self, link: LinkId) -> usize {
+        self.world.links[link.0].queue_len()
+    }
+
+    /// Attaches an agent to `(node, port)`; its [`Agent::start`] runs at the
+    /// current simulation time (before any later event).
+    pub fn add_agent(&mut self, node: NodeId, port: Port, agent: Box<dyn Agent>) -> AgentId {
+        assert!(node.0 < self.world.nodes.len(), "unknown node");
+        let id = AgentId(self.agents.len());
+        let previous = self.world.nodes[node.0].agents.insert(port, id);
+        assert!(
+            previous.is_none(),
+            "port {port:?} on node {node:?} is already bound"
+        );
+        self.agents.push(Some(agent));
+        self.world.agent_addrs.push(Address::new(node, port));
+        self.world
+            .push_event(self.world.now, EventKind::AgentStart { agent: id });
+        id
+    }
+
+    /// Address of an agent.
+    pub fn agent_addr(&self, agent: AgentId) -> Address {
+        self.world.agent_addrs[agent.0]
+    }
+
+    /// Borrows an agent downcast to its concrete type.
+    pub fn agent<T: Agent>(&self, agent: AgentId) -> Option<&T> {
+        self.agents[agent.0]
+            .as_ref()
+            .and_then(|a| a.as_any().downcast_ref::<T>())
+    }
+
+    /// Mutably borrows an agent downcast to its concrete type.
+    pub fn agent_mut<T: Agent>(&mut self, agent: AgentId) -> Option<&mut T> {
+        self.agents[agent.0]
+            .as_mut()
+            .and_then(|a| a.as_any_mut().downcast_mut::<T>())
+    }
+
+    /// Shared statistics registry.
+    pub fn stats(&self) -> &StatsRegistry {
+        &self.world.stats
+    }
+
+    /// Mutable access to the statistics registry (for experiment setup).
+    pub fn stats_mut(&mut self) -> &mut StatsRegistry {
+        &mut self.world.stats
+    }
+
+    /// Subscribes an agent to a multicast group from outside the simulation
+    /// (equivalent to the agent calling [`Context::join_group`] itself).
+    pub fn join_group(&mut self, agent: AgentId, group: GroupId) {
+        let addr = self.world.agent_addrs[agent.0];
+        self.world.multicast.join(group, addr.node);
+        self.world.nodes[addr.node.0]
+            .subscriptions
+            .entry(group)
+            .or_default()
+            .insert(agent);
+    }
+
+    /// Runs the simulation until the event queue is empty or `until` is
+    /// reached (whichever comes first).  Time is advanced to `until`.
+    pub fn run_until(&mut self, until: SimTime) {
+        loop {
+            let Some(Reverse(head)) = self.world.queue.peek() else {
+                break;
+            };
+            if head.time > until {
+                break;
+            }
+            let Reverse(event) = self.world.queue.pop().expect("peeked event exists");
+            self.world.now = event.time;
+            self.world.events_processed += 1;
+            self.dispatch(event);
+        }
+        if self.world.now < until {
+            self.world.now = until;
+        }
+    }
+
+    /// Runs the simulation for `duration` seconds of simulated time.
+    pub fn run_for(&mut self, duration: f64) {
+        let until = self.world.now + duration;
+        self.run_until(until);
+    }
+
+    fn dispatch(&mut self, event: QueuedEvent) {
+        match event.kind {
+            EventKind::AgentStart { agent } => {
+                self.with_agent(agent, |a, ctx| a.start(ctx));
+            }
+            EventKind::Timer { agent, token, timer } => {
+                if self.world.cancelled_timers.remove(&timer.0) {
+                    return;
+                }
+                self.with_agent(agent, |a, ctx| a.on_timer(ctx, token));
+            }
+            EventKind::Deliver { agent, packet } => {
+                self.with_agent(agent, |a, ctx| a.on_packet(ctx, packet));
+            }
+            EventKind::NodeArrival { node, packet } => {
+                self.world.route_packet(node, packet);
+            }
+            EventKind::LinkTxComplete { link } => {
+                self.world.handle_link_tx_complete(link);
+            }
+        }
+    }
+
+    fn with_agent<F>(&mut self, agent: AgentId, f: F)
+    where
+        F: FnOnce(&mut Box<dyn Agent>, &mut Context<'_>),
+    {
+        let Some(mut boxed) = self.agents[agent.0].take() else {
+            return;
+        };
+        let addr = self.world.agent_addrs[agent.0];
+        {
+            let mut ctx = Context {
+                world: &mut self.world,
+                agent,
+                addr,
+            };
+            f(&mut boxed, &mut ctx);
+        }
+        self.agents[agent.0] = Some(boxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{FlowId, Payload};
+
+    /// Simple agent that sends `count` packets of `size` bytes to `dst` at
+    /// fixed intervals and records every packet it receives.
+    struct Blaster {
+        dst: Dest,
+        size: u32,
+        count: u32,
+        interval: f64,
+        sent: u32,
+        received: Vec<(f64, u32)>,
+    }
+
+    impl Blaster {
+        fn new(dst: Dest, size: u32, count: u32, interval: f64) -> Self {
+            Blaster {
+                dst,
+                size,
+                count,
+                interval,
+                sent: 0,
+                received: Vec::new(),
+            }
+        }
+    }
+
+    impl Agent for Blaster {
+        fn start(&mut self, ctx: &mut Context<'_>) {
+            if self.count > 0 {
+                ctx.schedule(0.0, 0);
+            }
+        }
+        fn on_timer(&mut self, ctx: &mut Context<'_>, _token: u64) {
+            let pkt = Packet::new(ctx.addr(), self.dst, self.size, FlowId(1), Payload::empty());
+            ctx.send(pkt);
+            self.sent += 1;
+            if self.sent < self.count {
+                ctx.schedule(self.interval, 0);
+            }
+        }
+        fn on_packet(&mut self, ctx: &mut Context<'_>, packet: Packet) {
+            self.received.push((ctx.now().as_secs(), packet.size));
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    /// Agent that joins a multicast group and counts received packets.
+    struct GroupListener {
+        group: GroupId,
+        received: u32,
+    }
+
+    impl Agent for GroupListener {
+        fn start(&mut self, ctx: &mut Context<'_>) {
+            ctx.join_group(self.group);
+        }
+        fn on_packet(&mut self, _ctx: &mut Context<'_>, _packet: Packet) {
+            self.received += 1;
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    fn two_node_sim() -> (Simulator, NodeId, NodeId) {
+        let mut sim = Simulator::new(1);
+        let a = sim.add_node("a");
+        let b = sim.add_node("b");
+        // 1 Mbyte/s, 10 ms delay.
+        sim.add_duplex_link(a, b, 1_000_000.0, 0.01, QueueDiscipline::drop_tail(100));
+        (sim, a, b)
+    }
+
+    #[test]
+    fn unicast_delivery_has_correct_latency() {
+        let (mut sim, a, b) = two_node_sim();
+        let sink_addr = Address::new(b, Port(1));
+        let sink = sim.add_agent(b, Port(1), Box::new(Blaster::new(
+            Dest::Unicast(Address::new(a, Port(1))),
+            100,
+            0,
+            1.0,
+        )));
+        let _src = sim.add_agent(
+            a,
+            Port(1),
+            Box::new(Blaster::new(Dest::Unicast(sink_addr), 1000, 1, 1.0)),
+        );
+        sim.run_until(SimTime::from_secs(1.0));
+        let sink_ref: &Blaster = sim.agent(sink).unwrap();
+        assert_eq!(sink_ref.received.len(), 1);
+        // Latency = serialization (1000 B / 1 MB/s = 1 ms) + propagation 10 ms.
+        let (t, size) = sink_ref.received[0];
+        assert!((t - 0.011).abs() < 1e-9, "arrival at {t}");
+        assert_eq!(size, 1000);
+    }
+
+    #[test]
+    fn bottleneck_paces_packets_at_link_rate() {
+        let (mut sim, a, b) = two_node_sim();
+        let sink_addr = Address::new(b, Port(1));
+        let sink = sim.add_agent(
+            b,
+            Port(1),
+            Box::new(Blaster::new(Dest::Unicast(Address::new(a, Port(9))), 100, 0, 1.0)),
+        );
+        // Send 10 packets back to back; they serialize at 1 ms each.
+        let _src = sim.add_agent(
+            a,
+            Port(1),
+            Box::new(Blaster::new(Dest::Unicast(sink_addr), 1000, 10, 0.0)),
+        );
+        sim.run_until(SimTime::from_secs(1.0));
+        let sink_ref: &Blaster = sim.agent(sink).unwrap();
+        assert_eq!(sink_ref.received.len(), 10);
+        for (i, (t, _)) in sink_ref.received.iter().enumerate() {
+            let expected = 0.001 * (i as f64 + 1.0) + 0.01;
+            assert!(
+                (t - expected).abs() < 1e-9,
+                "packet {i} arrived at {t}, expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn queue_overflow_drops_packets() {
+        let mut sim = Simulator::new(2);
+        let a = sim.add_node("a");
+        let b = sim.add_node("b");
+        // Tiny queue of 2 packets.
+        sim.add_link(a, b, 1000.0, 0.001, QueueDiscipline::drop_tail(2));
+        sim.add_link(b, a, 1000.0, 0.001, QueueDiscipline::drop_tail(2));
+        let sink_addr = Address::new(b, Port(1));
+        let sink = sim.add_agent(
+            b,
+            Port(1),
+            Box::new(Blaster::new(Dest::Unicast(Address::new(a, Port(9))), 100, 0, 1.0)),
+        );
+        // 10 packets of 1000 B back to back on a 1 kB/s link: 1 in flight,
+        // 2 queued, 7 dropped.
+        let _src = sim.add_agent(
+            a,
+            Port(1),
+            Box::new(Blaster::new(Dest::Unicast(sink_addr), 1000, 10, 0.0)),
+        );
+        sim.run_until(SimTime::from_secs(60.0));
+        let sink_ref: &Blaster = sim.agent(sink).unwrap();
+        assert_eq!(sink_ref.received.len(), 3);
+        assert_eq!(sim.stats().counter("drops.link"), 7.0);
+        assert_eq!(sim.link_stats(LinkId(0)).dropped_queue, 7);
+    }
+
+    #[test]
+    fn multicast_fans_out_to_all_members() {
+        let mut sim = Simulator::new(3);
+        let src_node = sim.add_node("src");
+        let router = sim.add_node("router");
+        let r1 = sim.add_node("r1");
+        let r2 = sim.add_node("r2");
+        let r3 = sim.add_node("r3");
+        let q = || QueueDiscipline::drop_tail(100);
+        sim.add_duplex_link(src_node, router, 1e6, 0.005, q());
+        for r in [r1, r2, r3] {
+            sim.add_duplex_link(router, r, 1e6, 0.01, q());
+        }
+        let group = GroupId(7);
+        let mut listener_ids = Vec::new();
+        for r in [r1, r2, r3] {
+            let id = sim.add_agent(r, Port(5), Box::new(GroupListener { group, received: 0 }));
+            listener_ids.push(id);
+        }
+        let _src = sim.add_agent(
+            src_node,
+            Port(5),
+            Box::new(Blaster::new(
+                Dest::Multicast { group, port: Port(5) },
+                500,
+                4,
+                0.1,
+            )),
+        );
+        sim.run_until(SimTime::from_secs(2.0));
+        for id in listener_ids {
+            let l: &GroupListener = sim.agent(id).unwrap();
+            assert_eq!(l.received, 4);
+        }
+        // The source link carried each packet exactly once (replication
+        // happens at the router, not at the source).
+        assert_eq!(sim.link_stats(LinkId(0)).delivered, 4);
+    }
+
+    #[test]
+    fn multicast_leave_stops_delivery() {
+        let mut sim = Simulator::new(4);
+        let s = sim.add_node("s");
+        let r = sim.add_node("r");
+        sim.add_duplex_link(s, r, 1e6, 0.001, QueueDiscipline::drop_tail(10));
+        let group = GroupId(1);
+        let listener = sim.add_agent(r, Port(2), Box::new(GroupListener { group, received: 0 }));
+        let _src = sim.add_agent(
+            s,
+            Port(2),
+            Box::new(Blaster::new(
+                Dest::Multicast { group, port: Port(2) },
+                100,
+                20,
+                0.1,
+            )),
+        );
+        sim.run_until(SimTime::from_secs(0.55));
+        {
+            // Leave the group externally by clearing the subscription.
+            let addr = sim.agent_addr(listener);
+            sim.world.nodes[addr.node.0]
+                .subscriptions
+                .get_mut(&group)
+                .unwrap()
+                .remove(&listener);
+            sim.world.multicast.leave(group, addr.node);
+        }
+        sim.run_until(SimTime::from_secs(3.0));
+        let l: &GroupListener = sim.agent(listener).unwrap();
+        // Only the packets sent during the first ~0.55 s arrived.
+        assert!(l.received >= 5 && l.received <= 7, "received {}", l.received);
+    }
+
+    #[test]
+    fn timers_fire_in_order_and_cancel_works() {
+        struct TimerAgent {
+            fired: Vec<u64>,
+            cancel_target: Option<TimerId>,
+        }
+        impl Agent for TimerAgent {
+            fn start(&mut self, ctx: &mut Context<'_>) {
+                ctx.schedule(0.3, 3);
+                ctx.schedule(0.1, 1);
+                let t = ctx.schedule(0.2, 2);
+                self.cancel_target = Some(t);
+                ctx.schedule(0.15, 99);
+            }
+            fn on_timer(&mut self, ctx: &mut Context<'_>, token: u64) {
+                if token == 99 {
+                    // Cancel token 2 before it fires.
+                    let t = self.cancel_target.take().unwrap();
+                    ctx.cancel(t);
+                } else {
+                    self.fired.push(token);
+                }
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let mut sim = Simulator::new(5);
+        let n = sim.add_node("n");
+        let id = sim.add_agent(
+            n,
+            Port(1),
+            Box::new(TimerAgent {
+                fired: Vec::new(),
+                cancel_target: None,
+            }),
+        );
+        sim.run_until(SimTime::from_secs(1.0));
+        let a: &TimerAgent = sim.agent(id).unwrap();
+        assert_eq!(a.fired, vec![1, 3]);
+    }
+
+    #[test]
+    fn run_until_advances_time_even_with_no_events() {
+        let mut sim = Simulator::new(6);
+        sim.run_until(SimTime::from_secs(5.0));
+        assert_eq!(sim.now().as_secs(), 5.0);
+        assert_eq!(sim.events_processed(), 0);
+    }
+
+    #[test]
+    fn lossy_link_drops_roughly_expected_fraction() {
+        let mut sim = Simulator::new(7);
+        let a = sim.add_node("a");
+        let b = sim.add_node("b");
+        let (ab, _) = sim.add_duplex_link(a, b, 1e7, 0.001, QueueDiscipline::drop_tail(1000));
+        sim.set_link_loss(ab, LossModel::Bernoulli { p: 0.2 });
+        let sink_addr = Address::new(b, Port(1));
+        let sink = sim.add_agent(
+            b,
+            Port(1),
+            Box::new(Blaster::new(Dest::Unicast(Address::new(a, Port(9))), 100, 0, 1.0)),
+        );
+        let _src = sim.add_agent(
+            a,
+            Port(1),
+            Box::new(Blaster::new(Dest::Unicast(sink_addr), 1000, 2000, 0.001)),
+        );
+        sim.run_until(SimTime::from_secs(10.0));
+        let got = sim.agent::<Blaster>(sink).unwrap().received.len() as f64;
+        let frac = got / 2000.0;
+        assert!(
+            (0.75..=0.85).contains(&frac),
+            "expected ≈80% delivery, got {frac}"
+        );
+        assert_eq!(
+            sim.link_stats(ab).dropped_loss + sim.link_stats(ab).delivered,
+            2000
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "already bound")]
+    fn duplicate_port_binding_panics() {
+        let mut sim = Simulator::new(8);
+        let n = sim.add_node("n");
+        let mk = || {
+            Box::new(GroupListener {
+                group: GroupId(0),
+                received: 0,
+            })
+        };
+        sim.add_agent(n, Port(1), mk());
+        sim.add_agent(n, Port(1), mk());
+    }
+}

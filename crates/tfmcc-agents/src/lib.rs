@@ -1,0 +1,21 @@
+//! netsim adapters for the TFMCC protocol core.
+//!
+//! [`TfmccSenderAgent`] and [`TfmccReceiverAgent`] bind the sans-I/O state
+//! machines of `tfmcc-proto` to the discrete-event simulator: data packets
+//! are multicast along the group's distribution tree, receiver reports travel
+//! back as unicast packets, and the receivers' single feedback timer is
+//! mapped onto simulator timers.  [`session::TfmccSession`] wires a whole
+//! session (one sender, many receivers, optional staggered joins and leaves)
+//! in one call — the building block of every experiment in
+//! `tfmcc-experiments`.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod receiver_agent;
+pub mod sender_agent;
+pub mod session;
+
+pub use receiver_agent::TfmccReceiverAgent;
+pub use sender_agent::TfmccSenderAgent;
+pub use session::{ReceiverSpec, TfmccSession, TfmccSessionBuilder};

@@ -1,0 +1,181 @@
+//! The TFMCC receiver bound to the simulator.
+
+use std::any::Any;
+
+use netsim::packet::{Address, Dest, FlowId, GroupId, Packet, Payload};
+use netsim::sim::{Agent, Context, TimerId};
+use netsim::stats::ThroughputMeter;
+
+use tfmcc_proto::packets::{DataPacket, FeedbackPacket};
+use tfmcc_proto::receiver::TfmccReceiver;
+
+/// Timer token for the (single) protocol feedback timer; the generation is
+/// added so stale timers are recognised.
+const FEEDBACK_TOKEN_BASE: u64 = 1 << 32;
+/// Timer token for the deferred group join.
+const JOIN_TOKEN: u64 = 1;
+/// Timer token for the scheduled leave.
+const LEAVE_TOKEN: u64 = 2;
+
+/// Runs a [`TfmccReceiver`] inside the simulator: it joins the multicast
+/// group (optionally at a later time), feeds arriving data packets into the
+/// protocol receiver, transmits the resulting reports to the sender as
+/// unicast packets and keeps the simulator timer in sync with the receiver's
+/// single feedback deadline.
+pub struct TfmccReceiverAgent {
+    receiver: TfmccReceiver,
+    sender_addr: Address,
+    group: GroupId,
+    flow: FlowId,
+    join_at: f64,
+    leave_at: Option<f64>,
+    left: bool,
+    meter: ThroughputMeter,
+    armed: Option<(TimerId, f64)>,
+    generation: u64,
+}
+
+impl TfmccReceiverAgent {
+    /// Creates the agent.  Reports are unicast to `sender_addr`; received
+    /// data is attributed to `flow` in the local throughput meter.
+    pub fn new(receiver: TfmccReceiver, sender_addr: Address, group: GroupId, flow: FlowId) -> Self {
+        TfmccReceiverAgent {
+            receiver,
+            sender_addr,
+            group,
+            flow,
+            join_at: 0.0,
+            leave_at: None,
+            left: false,
+            meter: ThroughputMeter::new(1.0),
+            armed: None,
+            generation: 0,
+        }
+    }
+
+    /// Joins the multicast group only at `t` seconds of simulation time
+    /// (before that the receiver gets no data).
+    pub fn joining_at(mut self, t: f64) -> Self {
+        self.join_at = t;
+        self
+    }
+
+    /// Leaves the session at `t` seconds of simulation time, announcing the
+    /// departure to the sender.
+    pub fn leaving_at(mut self, t: f64) -> Self {
+        self.leave_at = Some(t);
+        self
+    }
+
+    /// Uses `bin`-second bins for the local throughput meter.
+    pub fn with_meter_bin(mut self, bin: f64) -> Self {
+        self.meter = ThroughputMeter::new(bin);
+        self
+    }
+
+    /// The wrapped protocol receiver.
+    pub fn protocol(&self) -> &TfmccReceiver {
+        &self.receiver
+    }
+
+    /// Throughput meter over the data this receiver got.
+    pub fn meter(&self) -> &ThroughputMeter {
+        &self.meter
+    }
+
+    fn send_feedback(&self, ctx: &mut Context<'_>, fb: FeedbackPacket) {
+        let pkt = Packet::new(
+            ctx.addr(),
+            Dest::Unicast(self.sender_addr),
+            FeedbackPacket::WIRE_SIZE,
+            self.flow,
+            Payload::new(fb),
+        );
+        ctx.send(pkt);
+    }
+
+    /// Re-arms the simulator timer to match the receiver's single feedback
+    /// deadline.
+    fn sync_timer(&mut self, ctx: &mut Context<'_>) {
+        let desired = self.receiver.next_timer();
+        match (desired, self.armed) {
+            (Some(at), Some((_, armed_at))) if (at - armed_at).abs() < 1e-9 => {}
+            (Some(at), maybe_armed) => {
+                if let Some((id, _)) = maybe_armed {
+                    ctx.cancel(id);
+                }
+                self.generation += 1;
+                let delay = (at - ctx.now().as_secs()).max(0.0);
+                let id = ctx.schedule(delay, FEEDBACK_TOKEN_BASE + self.generation);
+                self.armed = Some((id, at));
+            }
+            (None, Some((id, _))) => {
+                ctx.cancel(id);
+                self.armed = None;
+            }
+            (None, None) => {}
+        }
+    }
+}
+
+impl Agent for TfmccReceiverAgent {
+    fn start(&mut self, ctx: &mut Context<'_>) {
+        let join_delay = (self.join_at - ctx.now().as_secs()).max(0.0);
+        ctx.schedule(join_delay, JOIN_TOKEN);
+        if let Some(leave_at) = self.leave_at {
+            let leave_delay = (leave_at - ctx.now().as_secs()).max(0.0);
+            ctx.schedule(leave_delay, LEAVE_TOKEN);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_>, token: u64) {
+        if token == JOIN_TOKEN {
+            if !self.left {
+                ctx.join_group(self.group);
+            }
+            return;
+        }
+        if token == LEAVE_TOKEN {
+            self.left = true;
+            ctx.leave_group(self.group);
+            let fb = self.receiver.leave(ctx.now().as_secs());
+            self.send_feedback(ctx, fb);
+            if let Some((id, _)) = self.armed.take() {
+                ctx.cancel(id);
+            }
+            return;
+        }
+        if token != FEEDBACK_TOKEN_BASE + self.generation || self.left {
+            return; // stale feedback timer
+        }
+        self.armed = None;
+        if let Some(fb) = self.receiver.on_timer(ctx.now().as_secs()) {
+            self.send_feedback(ctx, fb);
+            ctx.stats().add("tfmcc.feedback_sent", 1.0);
+        }
+        self.sync_timer(ctx);
+    }
+
+    fn on_packet(&mut self, ctx: &mut Context<'_>, packet: Packet) {
+        if self.left {
+            return;
+        }
+        let Some(data) = packet.payload.downcast_ref::<DataPacket>() else {
+            return;
+        };
+        self.meter.record(ctx.now(), u64::from(packet.size));
+        let now = ctx.now().as_secs();
+        if let Some(fb) = self.receiver.on_data(now, data) {
+            self.send_feedback(ctx, fb);
+            ctx.stats().add("tfmcc.feedback_sent", 1.0);
+        }
+        self.sync_timer(ctx);
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}

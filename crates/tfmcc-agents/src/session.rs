@@ -1,0 +1,330 @@
+//! One-call construction of a complete TFMCC session inside a simulation.
+
+use netsim::packet::{Address, AgentId, FlowId, GroupId, NodeId, Port};
+use netsim::sim::Simulator;
+
+use tfmcc_proto::config::TfmccConfig;
+use tfmcc_proto::packets::ReceiverId;
+use tfmcc_proto::receiver::TfmccReceiver;
+use tfmcc_proto::sender::TfmccSender;
+
+use crate::receiver_agent::TfmccReceiverAgent;
+use crate::sender_agent::TfmccSenderAgent;
+
+/// Where and when one receiver participates in the session.
+#[derive(Debug, Clone, Copy)]
+pub struct ReceiverSpec {
+    /// Node the receiver runs on.
+    pub node: NodeId,
+    /// Time at which it joins the multicast group.
+    pub join_at: f64,
+    /// Time at which it leaves again (never, if `None`).
+    pub leave_at: Option<f64>,
+}
+
+impl ReceiverSpec {
+    /// A receiver that participates for the whole simulation.
+    pub fn always(node: NodeId) -> Self {
+        ReceiverSpec {
+            node,
+            join_at: 0.0,
+            leave_at: None,
+        }
+    }
+
+    /// A receiver that joins at `join_at`.
+    pub fn joining_at(node: NodeId, join_at: f64) -> Self {
+        ReceiverSpec {
+            node,
+            join_at,
+            leave_at: None,
+        }
+    }
+
+    /// Adds a leave time.
+    pub fn leaving_at(mut self, t: f64) -> Self {
+        self.leave_at = Some(t);
+        self
+    }
+}
+
+/// Parameters of a session to be built.
+#[derive(Debug, Clone)]
+pub struct TfmccSessionBuilder {
+    /// Protocol configuration shared by sender and receivers.
+    pub config: TfmccConfig,
+    /// Multicast group of the session.
+    pub group: GroupId,
+    /// Port data packets are addressed to (receivers bind to it).
+    pub data_port: Port,
+    /// Port the sender listens on for receiver reports.
+    pub sender_port: Port,
+    /// Flow id tagging the session's data packets.
+    pub flow: FlowId,
+    /// Time at which the sender starts transmitting.
+    pub start_at: f64,
+    /// Record the sending-rate series into the statistics registry.
+    pub record_rate_series: bool,
+}
+
+impl Default for TfmccSessionBuilder {
+    fn default() -> Self {
+        TfmccSessionBuilder {
+            config: TfmccConfig::default(),
+            group: GroupId(1),
+            data_port: Port(5000),
+            sender_port: Port(5001),
+            flow: FlowId(100),
+            start_at: 0.0,
+            record_rate_series: false,
+        }
+    }
+}
+
+/// Handles to the agents of a built session.
+#[derive(Debug, Clone)]
+pub struct TfmccSession {
+    /// The sender agent.
+    pub sender: AgentId,
+    /// The receiver agents, in the order of the specs passed to `build`.
+    pub receivers: Vec<AgentId>,
+    /// The session's multicast group.
+    pub group: GroupId,
+}
+
+impl TfmccSessionBuilder {
+    /// Builds the session: attaches the sender to `sender_node` and one
+    /// receiver per spec, all wired to the same group and ports.
+    pub fn build(
+        &self,
+        sim: &mut Simulator,
+        sender_node: NodeId,
+        receivers: &[ReceiverSpec],
+    ) -> TfmccSession {
+        assert!(!receivers.is_empty(), "a session needs at least one receiver");
+        let sender_addr = Address::new(sender_node, self.sender_port);
+        let mut sender_agent = TfmccSenderAgent::new(
+            TfmccSender::new(self.config.clone()),
+            self.group,
+            self.data_port,
+            self.flow,
+        )
+        .starting_at(self.start_at);
+        if self.record_rate_series {
+            sender_agent = sender_agent.with_rate_series();
+        }
+        let sender = sim.add_agent(sender_node, self.sender_port, Box::new(sender_agent));
+
+        let mut receiver_ids = Vec::with_capacity(receivers.len());
+        for (i, spec) in receivers.iter().enumerate() {
+            let proto = TfmccReceiver::new(ReceiverId(i as u64 + 1), self.config.clone());
+            let mut agent = TfmccReceiverAgent::new(proto, sender_addr, self.group, self.flow)
+                .joining_at(spec.join_at);
+            if let Some(t) = spec.leave_at {
+                agent = agent.leaving_at(t);
+            }
+            let id = sim.add_agent(spec.node, self.data_port, Box::new(agent));
+            receiver_ids.push(id);
+        }
+        TfmccSession {
+            sender,
+            receivers: receiver_ids,
+            group: self.group,
+        }
+    }
+}
+
+impl TfmccSession {
+    /// Borrow the sender agent.
+    pub fn sender_agent<'a>(&self, sim: &'a Simulator) -> &'a TfmccSenderAgent {
+        sim.agent(self.sender).expect("sender agent exists")
+    }
+
+    /// Borrow a receiver agent by index.
+    pub fn receiver_agent<'a>(&self, sim: &'a Simulator, index: usize) -> &'a TfmccReceiverAgent {
+        sim.agent(self.receivers[index]).expect("receiver agent exists")
+    }
+
+    /// Average throughput seen by receiver `index` over `[from, to]`, in
+    /// bytes per second.
+    pub fn receiver_throughput(&self, sim: &Simulator, index: usize, from: f64, to: f64) -> f64 {
+        self.receiver_agent(sim, index)
+            .meter()
+            .average_between(from, to)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::prelude::*;
+    use tfmcc_tcp::{TcpSender, TcpSenderConfig, TcpSink};
+
+    /// Steady-state TFMCC over a single clean bottleneck should settle near
+    /// the bottleneck rate (like TCP would), starting from slowstart.
+    #[test]
+    fn single_receiver_converges_to_bottleneck_rate() {
+        let mut sim = Simulator::new(101);
+        let s = sim.add_node("src");
+        let r = sim.add_node("dst");
+        // 1 Mbit/s bottleneck, 20 ms one-way delay.
+        sim.add_duplex_link(s, r, 125_000.0, 0.02, QueueDiscipline::drop_tail(30));
+        let session = TfmccSessionBuilder::default().build(&mut sim, s, &[ReceiverSpec::always(r)]);
+        sim.run_until(SimTime::from_secs(120.0));
+        let rate = session.receiver_throughput(&sim, 0, 60.0, 115.0);
+        assert!(
+            (60_000.0..=126_000.0).contains(&rate),
+            "TFMCC should reach a large fraction of the 125 kB/s bottleneck, got {rate}"
+        );
+        let sender = session.sender_agent(&sim).protocol();
+        assert!(!sender.in_slowstart());
+        assert!(sender.clr().is_some());
+    }
+
+    /// The sender must track the most limited receiver in a star topology
+    /// with heterogeneous loss.
+    #[test]
+    fn sender_tracks_the_lossiest_receiver() {
+        let mut sim = Simulator::new(102);
+        let legs = vec![
+            StarLeg::clean(1_250_000.0, 0.03),
+            StarLeg::clean(1_250_000.0, 0.03).with_downstream_loss(0.05),
+        ];
+        let star = star(&mut sim, &StarConfig::default(), &legs);
+        let specs: Vec<ReceiverSpec> = star
+            .receivers
+            .iter()
+            .map(|&n| ReceiverSpec::always(n))
+            .collect();
+        let session = TfmccSessionBuilder::default().build(&mut sim, star.sender, &specs);
+        sim.run_until(SimTime::from_secs(150.0));
+        let sender = session.sender_agent(&sim).protocol();
+        // The CLR must be receiver 2 (index 1 -> ReceiverId 2), the lossy leg.
+        assert_eq!(
+            sender.clr(),
+            Some(tfmcc_proto::packets::ReceiverId(2)),
+            "the lossy receiver must be the CLR"
+        );
+        // And the achieved rate should be in the region the control equation
+        // gives for 5% loss / ~60 ms RTT (tens of kB/s), far below the link.
+        let rate = session.receiver_throughput(&sim, 1, 80.0, 145.0);
+        assert!(
+            (5_000.0..=300_000.0).contains(&rate),
+            "rate should be limited by the lossy leg, got {rate}"
+        );
+        let clean = session.receiver_throughput(&sim, 0, 80.0, 145.0);
+        assert!(
+            (clean - rate).abs() <= 0.2 * rate.max(clean),
+            "single-rate protocol: both receivers see the same rate ({clean} vs {rate})"
+        );
+    }
+
+    /// TFMCC sharing a bottleneck with one TCP flow should get a comparable
+    /// long-term share (within a factor of ~3 either way).
+    #[test]
+    fn tfmcc_and_tcp_share_a_bottleneck() {
+        let mut sim = Simulator::new(103);
+        let cfg = DumbbellConfig {
+            pairs: 2,
+            bottleneck_bandwidth: 250_000.0, // 2 Mbit/s
+            bottleneck_delay: 0.02,
+            bottleneck_queue: QueueDiscipline::drop_tail(40),
+            ..DumbbellConfig::default()
+        };
+        let d = netsim::topology::dumbbell(&mut sim, &cfg);
+        // TFMCC on pair 0.
+        let session = TfmccSessionBuilder::default().build(
+            &mut sim,
+            d.senders[0],
+            &[ReceiverSpec::always(d.receivers[0])],
+        );
+        // TCP on pair 1.
+        let tcp_sink = sim.add_agent(d.receivers[1], Port(1), Box::new(TcpSink::new(1.0)));
+        sim.add_agent(
+            d.senders[1],
+            Port(1),
+            Box::new(TcpSender::new(TcpSenderConfig::new(
+                Address::new(d.receivers[1], Port(1)),
+                FlowId(2),
+            ))),
+        );
+        sim.run_until(SimTime::from_secs(200.0));
+        let tfmcc_rate = session.receiver_throughput(&sim, 0, 80.0, 195.0);
+        let tcp_rate = sim
+            .agent::<TcpSink>(tcp_sink)
+            .unwrap()
+            .meter()
+            .average_between(80.0, 195.0);
+        assert!(tfmcc_rate > 10_000.0, "TFMCC starved: {tfmcc_rate}");
+        assert!(tcp_rate > 10_000.0, "TCP starved: {tcp_rate}");
+        let ratio = tfmcc_rate / tcp_rate;
+        assert!(
+            (1.0 / 4.0..=4.0).contains(&ratio),
+            "TFMCC/TCP share ratio out of range: {tfmcc_rate} vs {tcp_rate}"
+        );
+    }
+
+    /// Receivers eventually obtain real RTT measurements via report echoes.
+    #[test]
+    fn receivers_obtain_rtt_measurements() {
+        let mut sim = Simulator::new(104);
+        let legs: Vec<StarLeg> = (0..4)
+            .map(|i| StarLeg::clean(250_000.0, 0.02 + 0.01 * i as f64).with_downstream_loss(0.01))
+            .collect();
+        let star = star(&mut sim, &StarConfig::default(), &legs);
+        let specs: Vec<ReceiverSpec> = star
+            .receivers
+            .iter()
+            .map(|&n| ReceiverSpec::always(n))
+            .collect();
+        let session = TfmccSessionBuilder::default().build(&mut sim, star.sender, &specs);
+        sim.run_until(SimTime::from_secs(120.0));
+        let with_rtt = (0..4)
+            .filter(|&i| session.receiver_agent(&sim, i).protocol().has_rtt_measurement())
+            .count();
+        assert!(
+            with_rtt >= 2,
+            "at least the limiting receivers must have measured their RTT, got {with_rtt}"
+        );
+        // The CLR's RTT estimate should be near the true path RTT (well below
+        // the 500 ms initial value).
+        let sender = session.sender_agent(&sim).protocol();
+        let clr = sender.clr().expect("a CLR exists");
+        let idx = (clr.0 - 1) as usize;
+        let rtt = session.receiver_agent(&sim, idx).protocol().rtt();
+        assert!(rtt < 0.3, "CLR RTT estimate still near the initial value: {rtt}");
+    }
+
+    /// A receiver joining behind a slow tail circuit must become the CLR and
+    /// pull the rate down; after it leaves the rate recovers.
+    #[test]
+    fn late_join_and_leave_of_slow_receiver() {
+        let mut sim = Simulator::new(105);
+        let legs = vec![
+            StarLeg::clean(1_250_000.0, 0.02),
+            // 200 kbit/s = 25 kB/s tail circuit.
+            StarLeg::clean(25_000.0, 0.02).with_queue(QueueDiscipline::drop_tail(10)),
+        ];
+        let star = star(&mut sim, &StarConfig::default(), &legs);
+        let specs = vec![
+            ReceiverSpec::always(star.receivers[0]),
+            ReceiverSpec::joining_at(star.receivers[1], 80.0).leaving_at(160.0),
+        ];
+        let session = TfmccSessionBuilder::default().build(&mut sim, star.sender, &specs);
+        sim.run_until(SimTime::from_secs(240.0));
+        let sender = session.sender_agent(&sim).protocol();
+        let fast = session.receiver_agent(&sim, 0).meter();
+        let before = fast.average_between(50.0, 78.0);
+        let during = fast.average_between(110.0, 158.0);
+        let after = fast.average_between(200.0, 238.0);
+        assert!(
+            during < before * 0.6,
+            "slow receiver must pull the rate down: before {before}, during {during}"
+        );
+        assert!(
+            after > during * 1.5,
+            "rate must recover after the slow receiver leaves: during {during}, after {after}"
+        );
+        assert!(sender.stats().clr_changes >= 1);
+    }
+}

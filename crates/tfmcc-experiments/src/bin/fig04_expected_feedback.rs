@@ -1,0 +1,10 @@
+//! Regenerates fig04_expected_feedback of the TFMCC paper.  Pass `--quick` for a reduced
+//! run suitable for smoke testing; the default is the paper's scale.
+
+use tfmcc_experiments::scale::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    let figure = tfmcc_experiments::feedback_figs::fig04_expected_feedback(scale);
+    print!("{}", figure.to_csv());
+}

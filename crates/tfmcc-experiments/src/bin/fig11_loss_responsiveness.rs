@@ -1,0 +1,10 @@
+//! Regenerates fig11_loss_responsiveness of the TFMCC paper.  Pass `--quick` for a reduced
+//! run suitable for smoke testing; the default is the paper's scale.
+
+use tfmcc_experiments::scale::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    let figure = tfmcc_experiments::responsiveness_figs::fig11_loss_responsiveness(scale);
+    print!("{}", figure.to_csv());
+}

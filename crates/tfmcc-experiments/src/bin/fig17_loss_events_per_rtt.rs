@@ -1,0 +1,10 @@
+//! Regenerates fig17_loss_events_per_rtt of the TFMCC paper.  Pass `--quick` for a reduced
+//! run suitable for smoke testing; the default is the paper's scale.
+
+use tfmcc_experiments::scale::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    let figure = tfmcc_experiments::scaling_figs::fig17_loss_events_per_rtt(scale);
+    print!("{}", figure.to_csv());
+}

@@ -1,0 +1,10 @@
+//! Regenerates fig19_lossy_return_paths of the TFMCC paper.  Pass `--quick` for a reduced
+//! run suitable for smoke testing; the default is the paper's scale.
+
+use tfmcc_experiments::scale::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    let figure = tfmcc_experiments::fairness_figs::fig19_lossy_return_paths(scale);
+    print!("{}", figure.to_csv());
+}

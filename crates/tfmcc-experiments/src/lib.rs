@@ -1,0 +1,30 @@
+//! Experiment harness reproducing every figure of the TFMCC paper.
+//!
+//! Each module covers one family of figures and exposes `run(scale)`
+//! functions returning a [`output::Figure`] — a set of named columns plus
+//! summary lines — which the per-figure binaries in `src/bin/` print as CSV.
+//! [`scale::Scale`] lets the same code run at paper scale (full receiver
+//! counts and durations) or at a reduced scale suitable for tests and
+//! Criterion benches.
+//!
+//! | Figures | Module |
+//! |---------|--------|
+//! | 1–6 (feedback suppression)            | [`feedback_figs`] |
+//! | 7, 17 (scaling, loss events per RTT)  | [`scaling_figs`] |
+//! | 9, 10, 18, 19 (fairness)              | [`fairness_figs`] |
+//! | 11, 13, 20, 21 (responsiveness)       | [`responsiveness_figs`] |
+//! | 12, 14, 15, 16 (startup, late join)   | [`startup_figs`] |
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod fairness_figs;
+pub mod feedback_figs;
+pub mod output;
+pub mod responsiveness_figs;
+pub mod scaling_figs;
+pub mod scale;
+pub mod startup_figs;
+
+pub use output::{Figure, Series};
+pub use scale::Scale;

@@ -1,0 +1,183 @@
+//! Figure 7 (loss path multiplicity / receiver-set scaling) and Figure 17
+//! (loss events per RTT).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use tfmcc_model::order_stats::scaling_throughput;
+use tfmcc_model::throughput::{bytes_to_bits, loss_events_per_rtt, padhye_throughput};
+
+use crate::output::{Figure, Series};
+use crate::scale::Scale;
+
+/// Parameters of the Figure 7 scenario: 10 % loss, 50 ms RTT, 1000-byte
+/// packets, an 8-interval loss history.
+const LOSS_RATE: f64 = 0.1;
+const RTT: f64 = 0.05;
+const PACKET: f64 = 1000.0;
+const HISTORY: usize = 8;
+
+/// Samples the average loss interval a receiver with loss rate `p` would
+/// measure: the mean of `HISTORY` geometric loss intervals.
+fn sample_avg_interval(p: f64, rng: &mut SmallRng) -> f64 {
+    let mut acc = 0.0;
+    for _ in 0..HISTORY {
+        // Geometric interval with mean 1/p, sampled via the exponential
+        // approximation the paper's analysis uses.
+        let u: f64 = rng.gen_range(1e-12..1.0);
+        acc += (-u.ln() / p).max(1.0);
+    }
+    acc / HISTORY as f64
+}
+
+/// Monte-Carlo estimate of the expected TFMCC throughput when the sender
+/// tracks the minimum calculated rate over `n` receivers with the given
+/// per-receiver loss rates.
+fn tracked_minimum_throughput(loss_rates: &[f64], trials: usize, seed: u64) -> f64 {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut acc = 0.0;
+    for _ in 0..trials {
+        let mut min_rate = f64::INFINITY;
+        for &p in loss_rates {
+            let interval = sample_avg_interval(p, &mut rng);
+            let rate = padhye_throughput(PACKET, RTT, (1.0 / interval).min(1.0));
+            min_rate = min_rate.min(rate);
+        }
+        acc += min_rate;
+    }
+    acc / trials as f64
+}
+
+/// The paper's "distributed" loss assignment: the vast majority of receivers
+/// have 0.5–2 % loss, some 2–5 %, and on the order of `c·log(n)` receivers
+/// 5–10 %.
+fn stratified_loss_rates(n: usize, rng: &mut SmallRng) -> Vec<f64> {
+    let high = ((n as f64).ln().ceil() as usize).clamp(1, n);
+    let mid = (n / 10).clamp(high, n);
+    (0..n)
+        .map(|i| {
+            if i < high {
+                rng.gen_range(0.05..0.10)
+            } else if i < mid {
+                rng.gen_range(0.02..0.05)
+            } else {
+                rng.gen_range(0.005..0.02)
+            }
+        })
+        .collect()
+}
+
+/// Figure 7: throughput versus receiver-set size for constant (identical,
+/// independent) loss and for the stratified loss distribution.
+pub fn fig07_scaling(scale: Scale) -> Figure {
+    let ns: Vec<usize> = scale.pick(
+        vec![1, 10, 100, 1000],
+        vec![1, 3, 10, 30, 100, 300, 1000, 3000, 10_000],
+    );
+    let trials = scale.pick(20, 200);
+    let mut fig = Figure::new(
+        "fig07",
+        "Scaling of throughput with the receiver-set size",
+        "number of receivers",
+        "throughput (kbit/s)",
+    );
+    let mut rng = SmallRng::seed_from_u64(7);
+
+    let constant: Vec<(f64, f64)> = ns
+        .iter()
+        .map(|&n| {
+            let rates = vec![LOSS_RATE; n];
+            let kbit = bytes_to_bits(tracked_minimum_throughput(&rates, trials, n as u64)) / 1000.0;
+            (n as f64, kbit)
+        })
+        .collect();
+    fig.push_series(Series::new("constant", constant));
+
+    let distributed: Vec<(f64, f64)> = ns
+        .iter()
+        .map(|&n| {
+            let rates = stratified_loss_rates(n, &mut rng);
+            let kbit =
+                bytes_to_bits(tracked_minimum_throughput(&rates, trials, 1000 + n as u64)) / 1000.0;
+            (n as f64, kbit)
+        })
+        .collect();
+    fig.push_series(Series::new("distrib.", distributed));
+
+    // Analytic (order statistics) reference for the constant case.
+    let analytic: Vec<(f64, f64)> = ns
+        .iter()
+        .map(|&n| {
+            let kbit =
+                bytes_to_bits(scaling_throughput(n as u64, HISTORY as u32, LOSS_RATE, RTT, PACKET))
+                    / 1000.0;
+            (n as f64, kbit)
+        })
+        .collect();
+    fig.push_series(Series::new("constant (analytic, sqrt model)", analytic));
+
+    let fair = fig.series("constant").unwrap().points[0].1;
+    let worst = fig.series("constant").unwrap().last_y().unwrap_or(0.0);
+    let distrib_worst = fig.series("distrib.").unwrap().last_y().unwrap_or(0.0);
+    fig.note(format!(
+        "fair rate at n=1: {fair:.0} kbit/s; constant-loss degradation at largest n: {:.2}x; stratified distribution retains {:.0}% of the single-receiver rate (paper: ~1/6 and ~70%)",
+        worst / fair.max(1e-9),
+        100.0 * distrib_worst / fig.series("distrib.").unwrap().points[0].1.max(1e-9)
+    ));
+    fig
+}
+
+/// Figure 17: loss events per RTT as a function of the loss event rate.
+pub fn fig17_loss_events_per_rtt(_scale: Scale) -> Figure {
+    let mut fig = Figure::new(
+        "fig17",
+        "Loss events per RTT",
+        "loss event rate",
+        "loss events / RTT",
+    );
+    let mut points = Vec::new();
+    let mut p = 1e-4;
+    while p <= 1.0 {
+        points.push((p, loss_events_per_rtt(p)));
+        p *= 1.15;
+    }
+    let peak = points.iter().map(|&(_, y)| y).fold(0.0, f64::max);
+    fig.push_series(Series::new("loss events per RTT", points));
+    fig.note(format!(
+        "maximum {peak:.3} loss events per RTT (paper: approximately 0.13)"
+    ));
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig07_constant_loss_degrades_and_stratified_degrades_less() {
+        let fig = fig07_scaling(Scale::Quick);
+        let constant = fig.series("constant").unwrap();
+        let distrib = fig.series("distrib.").unwrap();
+        let c_first = constant.points[0].1;
+        let c_last = constant.last_y().unwrap();
+        assert!(c_last < c_first * 0.6, "constant loss must degrade strongly");
+        let d_first = distrib.points[0].1;
+        let d_last = distrib.last_y().unwrap();
+        // The stratified distribution retains a much larger fraction.
+        assert!(
+            d_last / d_first > c_last / c_first,
+            "stratified ({:.2}) should degrade less than constant ({:.2})",
+            d_last / d_first,
+            c_last / c_first
+        );
+        // Fair rate at n = 1 is in the ~300 kbit/s ballpark.
+        assert!((150.0..=500.0).contains(&c_first), "fair rate {c_first}");
+    }
+
+    #[test]
+    fn fig17_peak_matches_paper() {
+        let fig = fig17_loss_events_per_rtt(Scale::Quick);
+        let peak = fig.series[0].points.iter().map(|&(_, y)| y).fold(0.0, f64::max);
+        assert!((0.10..=0.16).contains(&peak), "peak {peak}");
+    }
+}

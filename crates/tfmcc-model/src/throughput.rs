@@ -1,0 +1,336 @@
+//! TCP throughput models used as TFMCC's control equation.
+//!
+//! Two models are provided:
+//!
+//! * [`padhye_throughput`] — the full TCP Reno model of Padhye et al. (paper
+//!   Eq. 1), which accounts for both triple-duplicate-ACK loss recovery and
+//!   retransmission timeouts.  This is the control equation TFMCC receivers
+//!   evaluate.
+//! * [`mathis_throughput`] — the simplified "square-root p" model of Mathis
+//!   et al. (paper Eq. 4), used where an easily invertible expression is
+//!   sufficient (loss-history initialisation, PGMCC's acker election).
+//!
+//! Both have numeric inverses ([`padhye_loss_rate`], [`mathis_loss_rate`])
+//! that recover the loss event rate from a target rate, as required by paper
+//! Appendix B.
+
+/// Which TCP throughput model to evaluate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TcpModel {
+    /// Full model of Padhye et al. (paper Eq. 1).
+    #[default]
+    Padhye,
+    /// Simplified square-root model of Mathis et al. (paper Eq. 4).
+    Mathis,
+}
+
+impl TcpModel {
+    /// Expected throughput in bytes/second for this model.
+    pub fn throughput(self, packet_size: f64, rtt: f64, loss_event_rate: f64) -> f64 {
+        match self {
+            TcpModel::Padhye => padhye_throughput(packet_size, rtt, loss_event_rate),
+            TcpModel::Mathis => mathis_throughput(packet_size, rtt, loss_event_rate),
+        }
+    }
+
+    /// Loss event rate that would produce `rate` bytes/second under this model.
+    pub fn loss_rate(self, packet_size: f64, rtt: f64, rate: f64) -> f64 {
+        match self {
+            TcpModel::Padhye => padhye_loss_rate(packet_size, rtt, rate),
+            TcpModel::Mathis => mathis_loss_rate(packet_size, rtt, rate),
+        }
+    }
+}
+
+/// A practically-infinite rate returned when the loss event rate is zero.
+///
+/// TFRC/TFMCC treat "no loss observed yet" specially (slowstart); the model
+/// itself diverges as `p -> 0`, so we cap it at a terabyte per second to keep
+/// arithmetic finite.
+pub const MAX_RATE: f64 = 1e12;
+
+/// Full TCP throughput model of Padhye et al. (paper Eq. 1), in bytes/second.
+///
+/// ```text
+///                              s
+/// X = -------------------------------------------------------
+///     R*sqrt(2p/3) + t_RTO * (3*sqrt(3p/8)) * p * (1 + 32 p^2)
+/// ```
+///
+/// * `packet_size` — segment size `s` in bytes,
+/// * `rtt` — round-trip time `R` in seconds,
+/// * `loss_event_rate` — steady-state loss event rate `p` in (0, 1].
+///
+/// The retransmission timeout is approximated as `t_RTO = 4 R`, the value
+/// used by TFRC and by the TFMCC paper, and one packet is assumed to be
+/// acknowledged per ACK (`b = 1`).  A loss event rate of zero returns
+/// [`MAX_RATE`].
+pub fn padhye_throughput(packet_size: f64, rtt: f64, loss_event_rate: f64) -> f64 {
+    padhye_throughput_full(packet_size, rtt, loss_event_rate, 4.0 * rtt, 1.0)
+}
+
+/// Full TCP throughput model with explicit retransmission timeout `t_rto` and
+/// number of packets acknowledged per ACK `b` (2 models delayed ACKs).
+///
+/// ```text
+///                                   s
+/// X = -----------------------------------------------------------------
+///     R*sqrt(2bp/3) + t_RTO * min(1, 3*sqrt(3bp/8)) * p * (1 + 32 p^2)
+/// ```
+pub fn padhye_throughput_full(
+    packet_size: f64,
+    rtt: f64,
+    loss_event_rate: f64,
+    t_rto: f64,
+    b: f64,
+) -> f64 {
+    assert!(packet_size > 0.0, "packet size must be positive");
+    assert!(rtt > 0.0, "rtt must be positive");
+    assert!(t_rto > 0.0, "t_rto must be positive");
+    assert!(b >= 1.0, "b must be at least 1");
+    assert!(
+        (0.0..=1.0).contains(&loss_event_rate),
+        "loss event rate must be in [0, 1], got {loss_event_rate}"
+    );
+    if loss_event_rate <= 0.0 {
+        return MAX_RATE;
+    }
+    let p = loss_event_rate;
+    let denom = rtt * (2.0 * b * p / 3.0).sqrt()
+        + t_rto * (3.0 * (3.0 * b * p / 8.0).sqrt()).min(1.0) * p * (1.0 + 32.0 * p * p);
+    (packet_size / denom).min(MAX_RATE)
+}
+
+/// Simplified TCP throughput model of Mathis et al. (paper Eq. 4), bytes/second.
+///
+/// `X = s * C / (R * sqrt(p))` with `C = sqrt(3/2)`.
+pub fn mathis_throughput(packet_size: f64, rtt: f64, loss_event_rate: f64) -> f64 {
+    assert!(packet_size > 0.0, "packet size must be positive");
+    assert!(rtt > 0.0, "rtt must be positive");
+    assert!(
+        (0.0..=1.0).contains(&loss_event_rate),
+        "loss event rate must be in [0, 1], got {loss_event_rate}"
+    );
+    if loss_event_rate <= 0.0 {
+        return MAX_RATE;
+    }
+    let c = (3.0_f64 / 2.0).sqrt();
+    (packet_size * c / (rtt * loss_event_rate.sqrt())).min(MAX_RATE)
+}
+
+/// Inverse of the simplified model: the loss event rate at which a TCP flow
+/// with the given packet size and RTT would achieve `rate` bytes/second.
+///
+/// `p = (s * C / (R * X))^2`, clamped to `[0, 1]`.  Used by paper Appendix B
+/// to initialise the loss history from the rate at which the first loss was
+/// observed.
+pub fn mathis_loss_rate(packet_size: f64, rtt: f64, rate: f64) -> f64 {
+    assert!(packet_size > 0.0, "packet size must be positive");
+    assert!(rtt > 0.0, "rtt must be positive");
+    assert!(rate > 0.0, "rate must be positive");
+    let c = (3.0_f64 / 2.0).sqrt();
+    let p = (packet_size * c / (rtt * rate)).powi(2);
+    p.clamp(0.0, 1.0)
+}
+
+/// Inverse of the full Padhye model, computed by bisection on `p in [1e-12, 1]`.
+///
+/// Returns the loss event rate for which [`padhye_throughput`] equals `rate`.
+/// If `rate` exceeds the model's value at `p = 1e-12` the minimum loss rate is
+/// returned; if it is below the value at `p = 1` the maximum (1.0) is returned.
+pub fn padhye_loss_rate(packet_size: f64, rtt: f64, rate: f64) -> f64 {
+    assert!(rate > 0.0, "rate must be positive");
+    let mut lo = 1e-12;
+    let mut hi = 1.0;
+    // Throughput is monotonically decreasing in p.
+    if padhye_throughput(packet_size, rtt, lo) <= rate {
+        return lo;
+    }
+    if padhye_throughput(packet_size, rtt, hi) >= rate {
+        return hi;
+    }
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if padhye_throughput(packet_size, rtt, mid) > rate {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+        if (hi - lo) < 1e-15 {
+            break;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// Loss events per RTT as a function of the loss event rate (paper Fig. 17).
+///
+/// With `X(p)` the model throughput in packets/second, a flow sending at the
+/// model rate experiences `L = p * X(p) * R / s` loss events per RTT.  The
+/// paper uses this curve (maximum ≈ 0.13) to argue that aggregating losses
+/// with an overestimated initial RTT is safe (Appendix A).  The paper's
+/// plotted peak of ≈0.13 corresponds to the delayed-ACK variant of the model
+/// (`b = 2`), which is what this function evaluates.
+pub fn loss_events_per_rtt(loss_event_rate: f64) -> f64 {
+    // The ratio is independent of s and R: X ∝ s/R, so p*X*R/s depends only on p.
+    let s = 1000.0;
+    let rtt = 0.1;
+    if loss_event_rate <= 0.0 {
+        return 0.0;
+    }
+    loss_event_rate * padhye_throughput_full(s, rtt, loss_event_rate, 4.0 * rtt, 2.0) * rtt / s
+}
+
+/// Convenience: bits/second → bytes/second.
+pub fn bits_to_bytes(bits_per_second: f64) -> f64 {
+    bits_per_second / 8.0
+}
+
+/// Convenience: bytes/second → bits/second.
+pub fn bytes_to_bits(bytes_per_second: f64) -> f64 {
+    bytes_per_second * 8.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn padhye_matches_mathis_at_low_loss() {
+        // For small p the timeout term is negligible and the models agree to
+        // within a few percent.
+        let s = 1000.0;
+        let rtt = 0.1;
+        for &p in &[1e-4, 3e-4, 1e-3] {
+            let full = padhye_throughput(s, rtt, p);
+            let simple = mathis_throughput(s, rtt, p);
+            let ratio = full / simple;
+            assert!(
+                (0.9..=1.01).contains(&ratio),
+                "p={p}: ratio {ratio} out of range"
+            );
+        }
+    }
+
+    #[test]
+    fn padhye_decreasing_in_loss_rate() {
+        let s = 1000.0;
+        let rtt = 0.05;
+        let mut last = f64::INFINITY;
+        for i in 1..=1000 {
+            let p = i as f64 / 1000.0;
+            let x = padhye_throughput(s, rtt, p);
+            assert!(x <= last + 1e-9, "throughput must decrease with p");
+            assert!(x > 0.0);
+            last = x;
+        }
+    }
+
+    #[test]
+    fn padhye_decreasing_in_rtt() {
+        let s = 1000.0;
+        let p = 0.01;
+        let x1 = padhye_throughput(s, 0.01, p);
+        let x2 = padhye_throughput(s, 0.1, p);
+        let x3 = padhye_throughput(s, 1.0, p);
+        assert!(x1 > x2 && x2 > x3);
+    }
+
+    #[test]
+    fn zero_loss_returns_max_rate() {
+        assert_eq!(padhye_throughput(1000.0, 0.1, 0.0), MAX_RATE);
+        assert_eq!(mathis_throughput(1000.0, 0.1, 0.0), MAX_RATE);
+    }
+
+    #[test]
+    fn paper_fair_rate_example() {
+        // Section 3: loss 10%, RTT 50 ms, the fair rate is "around 300 kbit/s".
+        // With 1000-byte packets the full model should land in that ballpark.
+        let rate = padhye_throughput(1000.0, 0.05, 0.10);
+        let kbit = bytes_to_bits(rate) / 1000.0;
+        assert!(
+            (150.0..=450.0).contains(&kbit),
+            "expected ≈300 kbit/s, got {kbit:.1} kbit/s"
+        );
+    }
+
+    #[test]
+    fn mathis_inverse_round_trips() {
+        let s = 1500.0;
+        let rtt = 0.08;
+        for &p in &[1e-4, 1e-3, 1e-2, 0.1, 0.3] {
+            let rate = mathis_throughput(s, rtt, p);
+            let back = mathis_loss_rate(s, rtt, rate);
+            assert!((back - p).abs() < 1e-9 * p.max(1e-9), "p={p} back={back}");
+        }
+    }
+
+    #[test]
+    fn padhye_inverse_round_trips() {
+        let s = 1000.0;
+        let rtt = 0.06;
+        for &p in &[1e-5, 1e-4, 1e-3, 1e-2, 0.05, 0.1, 0.3] {
+            let rate = padhye_throughput(s, rtt, p);
+            let back = padhye_loss_rate(s, rtt, rate);
+            assert!(
+                (back - p).abs() < 1e-6 * p.max(1e-6),
+                "p={p} back={back} rate={rate}"
+            );
+        }
+    }
+
+    #[test]
+    fn padhye_inverse_clamps_extremes() {
+        let s = 1000.0;
+        let rtt = 0.06;
+        // Absurdly high target rate -> essentially zero loss.
+        assert!(padhye_loss_rate(s, rtt, 1e13) <= 1e-10);
+        // Absurdly low target rate -> loss rate of 1.
+        assert!(padhye_loss_rate(s, rtt, 1e-6) >= 0.999);
+    }
+
+    #[test]
+    fn loss_events_per_rtt_peak_matches_paper() {
+        // Paper Appendix A: the maximum is approximately 0.13 loss events/RTT.
+        let mut max = 0.0_f64;
+        for i in 1..=10_000 {
+            let p = i as f64 / 10_000.0;
+            max = max.max(loss_events_per_rtt(p));
+        }
+        assert!(
+            (0.10..=0.16).contains(&max),
+            "expected peak ≈ 0.13, got {max}"
+        );
+    }
+
+    #[test]
+    fn loss_events_per_rtt_is_small_at_extremes() {
+        assert!(loss_events_per_rtt(1e-4) < 0.02);
+        assert!(loss_events_per_rtt(0.9999) < 0.05);
+        assert_eq!(loss_events_per_rtt(0.0), 0.0);
+    }
+
+    #[test]
+    fn unit_conversions() {
+        assert_eq!(bits_to_bytes(8.0), 1.0);
+        assert_eq!(bytes_to_bits(1.0), 8.0);
+    }
+
+    #[test]
+    fn model_enum_dispatch() {
+        let s = 1000.0;
+        let rtt = 0.1;
+        let p = 0.01;
+        assert_eq!(
+            TcpModel::Padhye.throughput(s, rtt, p),
+            padhye_throughput(s, rtt, p)
+        );
+        assert_eq!(
+            TcpModel::Mathis.throughput(s, rtt, p),
+            mathis_throughput(s, rtt, p)
+        );
+        let r = 1e5;
+        assert_eq!(TcpModel::Mathis.loss_rate(s, rtt, r), mathis_loss_rate(s, rtt, r));
+        assert_eq!(TcpModel::Padhye.loss_rate(s, rtt, r), padhye_loss_rate(s, rtt, r));
+    }
+}

@@ -1,0 +1,161 @@
+//! Acker election: track per-receiver conditions and pick the one a TCP flow
+//! would serve most slowly.
+
+use std::collections::HashMap;
+
+use tfmcc_model::throughput::mathis_throughput;
+
+/// What the sender knows about one receiver for acker election.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReceiverConditions {
+    /// Smoothed loss rate reported by the receiver.
+    pub loss_rate: f64,
+    /// RTT to the receiver measured by the sender from echoed timestamps.
+    pub rtt: f64,
+    /// Last time a report or ACK from this receiver was processed.
+    pub last_heard: f64,
+}
+
+/// Tracks receiver conditions and elects the acker.
+///
+/// The election rule follows PGMCC: a candidate replaces the current acker
+/// when its modelled TCP throughput is lower by more than the hysteresis
+/// factor (to avoid flapping between receivers with similar conditions).
+#[derive(Debug, Clone)]
+pub struct AckerTracker {
+    packet_size: f64,
+    hysteresis: f64,
+    receivers: HashMap<u64, ReceiverConditions>,
+    acker: Option<u64>,
+}
+
+impl AckerTracker {
+    /// Creates a tracker.  `hysteresis` of 0.85 means a candidate must have a
+    /// modelled throughput below 85 % of the acker's to take over.
+    pub fn new(packet_size: f64, hysteresis: f64) -> Self {
+        assert!(packet_size > 0.0);
+        assert!((0.0..=1.0).contains(&hysteresis));
+        AckerTracker {
+            packet_size,
+            hysteresis,
+            receivers: HashMap::new(),
+            acker: None,
+        }
+    }
+
+    /// The current acker, if any.
+    pub fn acker(&self) -> Option<u64> {
+        self.acker
+    }
+
+    /// Number of receivers that have reported so far.
+    pub fn known_receivers(&self) -> usize {
+        self.receivers.len()
+    }
+
+    /// Modelled throughput of a receiver under the simplified TCP equation.
+    fn modelled_throughput(&self, c: &ReceiverConditions) -> f64 {
+        if c.loss_rate <= 0.0 {
+            f64::INFINITY
+        } else {
+            mathis_throughput(self.packet_size, c.rtt.max(1e-3), c.loss_rate.min(1.0))
+        }
+    }
+
+    /// Records a report (or ACK-carried state) from `receiver` and returns
+    /// `true` if this changed the acker.
+    pub fn update(&mut self, receiver: u64, loss_rate: f64, rtt: f64, now: f64) -> bool {
+        self.receivers.insert(
+            receiver,
+            ReceiverConditions {
+                loss_rate,
+                rtt,
+                last_heard: now,
+            },
+        );
+        let current = self.acker.and_then(|id| self.receivers.get(&id).copied());
+        let candidate = self.receivers[&receiver];
+        let changed = match current {
+            None => {
+                self.acker = Some(receiver);
+                true
+            }
+            Some(acker_cond) => {
+                let acker_rate = self.modelled_throughput(&acker_cond);
+                let cand_rate = self.modelled_throughput(&candidate);
+                if Some(receiver) != self.acker && cand_rate < self.hysteresis * acker_rate {
+                    self.acker = Some(receiver);
+                    true
+                } else {
+                    false
+                }
+            }
+        };
+        changed
+    }
+
+    /// Drops receivers not heard from since `deadline` and re-elects if the
+    /// acker vanished.  Returns `true` if the acker changed.
+    pub fn expire(&mut self, deadline: f64) -> bool {
+        self.receivers.retain(|_, c| c.last_heard >= deadline);
+        match self.acker {
+            Some(id) if !self.receivers.contains_key(&id) => {
+                self.acker = self
+                    .receivers
+                    .iter()
+                    .min_by(|a, b| {
+                        self.modelled_throughput(a.1)
+                            .partial_cmp(&self.modelled_throughput(b.1))
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                    })
+                    .map(|(id, _)| *id);
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_reporter_becomes_acker() {
+        let mut t = AckerTracker::new(1000.0, 0.85);
+        assert!(t.update(1, 0.01, 0.05, 0.0));
+        assert_eq!(t.acker(), Some(1));
+    }
+
+    #[test]
+    fn worse_receiver_takes_over_with_hysteresis() {
+        let mut t = AckerTracker::new(1000.0, 0.85);
+        t.update(1, 0.01, 0.05, 0.0);
+        // Slightly worse: within hysteresis, no change.
+        assert!(!t.update(2, 0.011, 0.05, 1.0));
+        assert_eq!(t.acker(), Some(1));
+        // Much worse: takes over.
+        assert!(t.update(3, 0.05, 0.1, 2.0));
+        assert_eq!(t.acker(), Some(3));
+    }
+
+    #[test]
+    fn lossless_receiver_never_preempts_a_lossy_acker() {
+        let mut t = AckerTracker::new(1000.0, 0.85);
+        t.update(1, 0.02, 0.05, 0.0);
+        assert!(!t.update(2, 0.0, 0.4, 1.0));
+        assert_eq!(t.acker(), Some(1));
+    }
+
+    #[test]
+    fn expiry_reelects_among_live_receivers() {
+        let mut t = AckerTracker::new(1000.0, 0.85);
+        t.update(1, 0.05, 0.05, 0.0);
+        t.update(2, 0.01, 0.05, 10.0);
+        assert_eq!(t.acker(), Some(1));
+        // Receiver 1 has not been heard from since t=0; expire it.
+        assert!(t.expire(5.0));
+        assert_eq!(t.acker(), Some(2));
+        assert_eq!(t.known_receivers(), 1);
+    }
+}

@@ -1,0 +1,130 @@
+//! Receive-rate measurement.
+//!
+//! Receivers report the rate at which data is arriving; the sender uses the
+//! minimum over the group during slowstart (target = 2 × min receive rate,
+//! paper Section 2.6) and the receiver uses it to initialise the loss history
+//! at the first loss event (Appendix B).
+
+use std::collections::VecDeque;
+
+/// Sliding-window receive-rate meter.
+#[derive(Debug, Clone)]
+pub struct ReceiveRateMeter {
+    window: f64,
+    samples: VecDeque<(f64, u32)>,
+    bytes_in_window: u64,
+}
+
+impl ReceiveRateMeter {
+    /// Creates a meter averaging over `window` seconds.
+    pub fn new(window: f64) -> Self {
+        assert!(window > 0.0, "window must be positive");
+        ReceiveRateMeter {
+            window,
+            samples: VecDeque::new(),
+            bytes_in_window: 0,
+        }
+    }
+
+    /// Changes the averaging window (e.g. once the RTT is known).
+    pub fn set_window(&mut self, window: f64) {
+        assert!(window > 0.0, "window must be positive");
+        self.window = window;
+    }
+
+    /// Records the arrival of `bytes` at time `now`.
+    pub fn record(&mut self, now: f64, bytes: u32) {
+        self.samples.push_back((now, bytes));
+        self.bytes_in_window += u64::from(bytes);
+        self.expire(now);
+    }
+
+    fn expire(&mut self, now: f64) {
+        while let Some(&(t, b)) = self.samples.front() {
+            if now - t > self.window {
+                self.samples.pop_front();
+                self.bytes_in_window -= u64::from(b);
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Receive rate in bytes/second over the window ending at `now`.
+    ///
+    /// Before a full window of data has been observed the rate is computed
+    /// over the span actually covered, so early estimates are meaningful
+    /// rather than biased low.
+    pub fn rate(&mut self, now: f64) -> f64 {
+        self.expire(now);
+        let Some(&(first, _)) = self.samples.front() else {
+            return 0.0;
+        };
+        // Use the observed span when it is shorter than the window, with a
+        // small floor so a burst of back-to-back packets does not read as an
+        // absurdly high rate.
+        let floor = self.window.min(0.05);
+        let span = (now - first).clamp(floor, self.window);
+        self.bytes_in_window as f64 / span
+    }
+
+    /// Total bytes currently inside the window.
+    pub fn bytes_in_window(&self) -> u64 {
+        self.bytes_in_window
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steady_stream_measures_its_rate() {
+        let mut m = ReceiveRateMeter::new(1.0);
+        // 100 packets of 1000 B over 1 second = 100 kB/s.
+        for i in 0..200 {
+            m.record(i as f64 * 0.01, 1000);
+        }
+        let r = m.rate(2.0);
+        assert!((90_000.0..=110_000.0).contains(&r), "rate {r}");
+    }
+
+    #[test]
+    fn rate_drops_when_stream_stops() {
+        let mut m = ReceiveRateMeter::new(0.5);
+        for i in 0..50 {
+            m.record(i as f64 * 0.01, 1000);
+        }
+        assert!(m.rate(0.5) > 50_000.0);
+        // Much later the window is empty.
+        assert_eq!(m.rate(10.0), 0.0);
+        assert_eq!(m.bytes_in_window(), 0);
+    }
+
+    #[test]
+    fn early_estimate_uses_observed_span() {
+        let mut m = ReceiveRateMeter::new(2.0);
+        m.record(0.0, 1000);
+        m.record(0.1, 1000);
+        let r = m.rate(0.1);
+        // 2000 bytes over ~0.1 s ≈ 20 kB/s, not 2000/2.0 = 1 kB/s.
+        assert!(r > 10_000.0, "rate {r}");
+    }
+
+    #[test]
+    fn window_can_be_adjusted() {
+        let mut m = ReceiveRateMeter::new(10.0);
+        for i in 0..100 {
+            m.record(i as f64 * 0.1, 1000);
+        }
+        m.set_window(1.0);
+        let r = m.rate(10.0);
+        assert!((8_000.0..=12_000.0).contains(&r), "rate {r}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_window_rejected() {
+        let _ = ReceiveRateMeter::new(0.0);
+    }
+}

@@ -1,0 +1,24 @@
+//! Real-network TFMCC transport over UDP.
+//!
+//! The paper evaluates TFMCC in ns-2 only; its future-work section plans a
+//! deployment in a multicast file-synchronisation tool.  This crate provides
+//! that deployment path for the reproduction: a binary wire format for the
+//! protocol messages ([`wire`]) and blocking UDP endpoints ([`endpoint`])
+//! that drive the same sans-I/O state machines used in the simulator.
+//!
+//! Native IP multicast is frequently unavailable (and was one of the paper's
+//! motivating deployment obstacles), so the sender emulates the multicast
+//! group by unicast fan-out to its known receivers.  This exercises exactly
+//! the same protocol code paths (feedback suppression still matters because
+//! every receiver hears the echoed reports in the data headers); only the
+//! network-level replication differs, which is outside the congestion
+//! control's scope.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod endpoint;
+pub mod wire;
+
+pub use endpoint::{UdpReceiverEndpoint, UdpSenderEndpoint};
+pub use wire::{decode_message, encode_message, WireError, WireMessage};

@@ -1,0 +1,97 @@
+//! Cross-crate property-based tests on core protocol invariants.
+
+use proptest::prelude::*;
+
+use tfmcc::model::throughput::{mathis_loss_rate, mathis_throughput, padhye_throughput};
+use tfmcc::proto::config::TfmccConfig;
+use tfmcc::proto::feedback::FeedbackPlanner;
+use tfmcc::proto::loss::LossHistory;
+use tfmcc::proto::rtt::RttEstimator;
+
+proptest! {
+    /// The control equation is monotone: more loss or more delay never yields
+    /// a higher rate.
+    #[test]
+    fn control_equation_is_monotone(
+        p1 in 1e-6f64..0.5,
+        dp in 1e-6f64..0.4,
+        rtt in 0.001f64..2.0,
+        drtt in 0.001f64..2.0,
+    ) {
+        let base = padhye_throughput(1000.0, rtt, p1);
+        prop_assert!(padhye_throughput(1000.0, rtt, (p1 + dp).min(1.0)) <= base + 1e-9);
+        prop_assert!(padhye_throughput(1000.0, rtt + drtt, p1) <= base + 1e-9);
+    }
+
+    /// The simplified equation and its inverse are consistent for any
+    /// achievable rate.
+    #[test]
+    fn mathis_inverse_is_consistent(p in 1e-6f64..1.0, rtt in 0.001f64..2.0) {
+        let rate = mathis_throughput(1500.0, rtt, p);
+        let back = mathis_loss_rate(1500.0, rtt, rate);
+        prop_assert!((back - p).abs() < 1e-6 * p.max(1e-6));
+    }
+
+    /// Feedback timers always lie within [0, T] and cancellation is monotone
+    /// in the receiver's own rate.
+    #[test]
+    fn feedback_timer_bounds(ratio in 0.0f64..2.0, uniform in 1e-9f64..1.0, window in 0.01f64..100.0) {
+        let planner = FeedbackPlanner::from_config(&TfmccConfig::default());
+        let t = planner.timer(ratio, window, uniform);
+        prop_assert!(t >= 0.0);
+        prop_assert!(t <= window + 1e-9);
+    }
+
+    /// Cancellation: if a receiver with rate `a` is cancelled by an echo, any
+    /// receiver with a higher rate is cancelled too.
+    #[test]
+    fn cancellation_is_monotone(a in 1.0f64..1e9, b in 1.0f64..1e9, echo in 1.0f64..1e9) {
+        let planner = FeedbackPlanner::from_config(&TfmccConfig::default());
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        if planner.should_cancel(lo, echo) {
+            prop_assert!(planner.should_cancel(hi, echo));
+        }
+    }
+
+    /// Loss history invariants under an arbitrary pattern of received
+    /// sequence numbers: the loss event rate stays in [0, 1] and equals zero
+    /// iff no loss was seen.
+    #[test]
+    fn loss_history_rate_is_bounded(gaps in proptest::collection::vec(0u64..5, 1..200)) {
+        let config = TfmccConfig::default();
+        let mut history = LossHistory::new(&config);
+        let mut seq = 0u64;
+        let mut now = 0.0;
+        let mut first = true;
+        for gap in gaps {
+            seq += gap; // skip `gap` packets (they count as lost)
+            let update = history.on_packet(seq, now, 0.05);
+            if update.first_loss_event && first {
+                history.initialize_first_interval(100_000.0, 0.05, false);
+                first = false;
+            }
+            seq += 1;
+            now += 0.01;
+        }
+        let p = history.loss_event_rate();
+        prop_assert!((0.0..=1.0).contains(&p));
+        prop_assert_eq!(p > 0.0, history.has_loss());
+        prop_assert!(history.packets_received() > 0);
+    }
+
+    /// The RTT estimator never reports a non-positive estimate and converges
+    /// to constant samples.
+    #[test]
+    fn rtt_estimator_stays_positive(samples in proptest::collection::vec(0.0f64..5.0, 1..50)) {
+        let mut est = RttEstimator::new(&TfmccConfig::default());
+        for (i, s) in samples.iter().enumerate() {
+            est.on_measurement(*s, i % 2 == 0, s / 2.0);
+            prop_assert!(est.current() > 0.0);
+        }
+        let last = *samples.last().unwrap();
+        for _ in 0..200 {
+            est.on_measurement(last, true, last / 2.0);
+        }
+        prop_assert!((est.current() - last.max(1e-4)).abs() < 0.05 * last.max(1e-4) + 1e-6);
+    }
+}
