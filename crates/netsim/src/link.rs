@@ -262,7 +262,10 @@ mod tests {
     fn bernoulli_loss_drops_based_on_sample() {
         let mut l = link(1000.0, 0.0, 10);
         l.loss = LossModel::Bernoulli { p: 0.25 };
-        assert_eq!(l.offer(pkt(100), SimTime::ZERO, 0.1, 0.9), LinkAccept::Dropped);
+        assert_eq!(
+            l.offer(pkt(100), SimTime::ZERO, 0.1, 0.9),
+            LinkAccept::Dropped
+        );
         assert!(matches!(
             l.offer(pkt(100), SimTime::ZERO, 0.5, 0.9),
             LinkAccept::Accepted { .. }

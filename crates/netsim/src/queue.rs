@@ -267,7 +267,10 @@ mod tests {
                 dropped_early += 1;
             }
         }
-        assert!(dropped_early > 0, "RED should have dropped some packets early");
+        assert!(
+            dropped_early > 0,
+            "RED should have dropped some packets early"
+        );
     }
 
     #[test]

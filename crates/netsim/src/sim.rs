@@ -59,11 +59,25 @@ pub trait Agent: Any {
 
 #[derive(Debug)]
 enum EventKind {
-    AgentStart { agent: AgentId },
-    Timer { agent: AgentId, token: u64, timer: TimerId },
-    Deliver { agent: AgentId, packet: Packet },
-    NodeArrival { node: NodeId, packet: Packet },
-    LinkTxComplete { link: LinkId },
+    AgentStart {
+        agent: AgentId,
+    },
+    Timer {
+        agent: AgentId,
+        token: u64,
+        timer: TimerId,
+    },
+    Deliver {
+        agent: AgentId,
+        packet: Packet,
+    },
+    NodeArrival {
+        node: NodeId,
+        packet: Packet,
+    },
+    LinkTxComplete {
+        link: LinkId,
+    },
 }
 
 #[derive(Debug)]
@@ -533,7 +547,11 @@ impl Simulator {
             EventKind::AgentStart { agent } => {
                 self.with_agent(agent, |a, ctx| a.start(ctx));
             }
-            EventKind::Timer { agent, token, timer } => {
+            EventKind::Timer {
+                agent,
+                token,
+                timer,
+            } => {
                 if self.world.cancelled_timers.remove(&timer.0) {
                     return;
                 }
@@ -659,12 +677,16 @@ mod tests {
     fn unicast_delivery_has_correct_latency() {
         let (mut sim, a, b) = two_node_sim();
         let sink_addr = Address::new(b, Port(1));
-        let sink = sim.add_agent(b, Port(1), Box::new(Blaster::new(
-            Dest::Unicast(Address::new(a, Port(1))),
-            100,
-            0,
-            1.0,
-        )));
+        let sink = sim.add_agent(
+            b,
+            Port(1),
+            Box::new(Blaster::new(
+                Dest::Unicast(Address::new(a, Port(1))),
+                100,
+                0,
+                1.0,
+            )),
+        );
         let _src = sim.add_agent(
             a,
             Port(1),
@@ -686,7 +708,12 @@ mod tests {
         let sink = sim.add_agent(
             b,
             Port(1),
-            Box::new(Blaster::new(Dest::Unicast(Address::new(a, Port(9))), 100, 0, 1.0)),
+            Box::new(Blaster::new(
+                Dest::Unicast(Address::new(a, Port(9))),
+                100,
+                0,
+                1.0,
+            )),
         );
         // Send 10 packets back to back; they serialize at 1 ms each.
         let _src = sim.add_agent(
@@ -718,7 +745,12 @@ mod tests {
         let sink = sim.add_agent(
             b,
             Port(1),
-            Box::new(Blaster::new(Dest::Unicast(Address::new(a, Port(9))), 100, 0, 1.0)),
+            Box::new(Blaster::new(
+                Dest::Unicast(Address::new(a, Port(9))),
+                100,
+                0,
+                1.0,
+            )),
         );
         // 10 packets of 1000 B back to back on a 1 kB/s link: 1 in flight,
         // 2 queued, 7 dropped.
@@ -757,7 +789,10 @@ mod tests {
             src_node,
             Port(5),
             Box::new(Blaster::new(
-                Dest::Multicast { group, port: Port(5) },
+                Dest::Multicast {
+                    group,
+                    port: Port(5),
+                },
                 500,
                 4,
                 0.1,
@@ -785,7 +820,10 @@ mod tests {
             s,
             Port(2),
             Box::new(Blaster::new(
-                Dest::Multicast { group, port: Port(2) },
+                Dest::Multicast {
+                    group,
+                    port: Port(2),
+                },
                 100,
                 20,
                 0.1,
@@ -805,7 +843,11 @@ mod tests {
         sim.run_until(SimTime::from_secs(3.0));
         let l: &GroupListener = sim.agent(listener).unwrap();
         // Only the packets sent during the first ~0.55 s arrived.
-        assert!(l.received >= 5 && l.received <= 7, "received {}", l.received);
+        assert!(
+            l.received >= 5 && l.received <= 7,
+            "received {}",
+            l.received
+        );
     }
 
     #[test]
@@ -872,7 +914,12 @@ mod tests {
         let sink = sim.add_agent(
             b,
             Port(1),
-            Box::new(Blaster::new(Dest::Unicast(Address::new(a, Port(9))), 100, 0, 1.0)),
+            Box::new(Blaster::new(
+                Dest::Unicast(Address::new(a, Port(9))),
+                100,
+                0,
+                1.0,
+            )),
         );
         let _src = sim.add_agent(
             a,

@@ -86,11 +86,14 @@ impl ThroughputMeter {
         }
     }
 
-    /// Coefficient of variation of the per-bin throughput over `[from, to]` —
-    /// the smoothness measure used when comparing TFMCC with TCP.
-    pub fn coefficient_of_variation(&self, from: f64, to: f64) -> f64 {
-        let vals: Vec<f64> = self
-            .bins
+    /// Per-bin rates (bytes/second) of the bins fully inside `[from, to]`.
+    ///
+    /// Bins exist only up to the last recorded sample, so a window reaching
+    /// past the end of the data is truncated there rather than padded with
+    /// zeros — callers comparing flows over a window should also assert on
+    /// the average, which does cover silence.
+    fn rates_between(&self, from: f64, to: f64) -> Vec<f64> {
+        self.bins
             .iter()
             .enumerate()
             .filter(|(i, _)| {
@@ -98,7 +101,13 @@ impl ThroughputMeter {
                 start >= from && start + self.bin <= to
             })
             .map(|(_, &b)| b as f64 / self.bin)
-            .collect();
+            .collect()
+    }
+
+    /// Coefficient of variation of the per-bin throughput over `[from, to]` —
+    /// the smoothness measure used when comparing TFMCC with TCP.
+    pub fn coefficient_of_variation(&self, from: f64, to: f64) -> f64 {
+        let vals = self.rates_between(from, to);
         if vals.len() < 2 {
             return 0.0;
         }
@@ -108,6 +117,25 @@ impl ThroughputMeter {
         }
         let var = vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / vals.len() as f64;
         var.sqrt() / mean
+    }
+
+    /// Mean absolute relative change between adjacent bins over `[from, to]`
+    /// — the short-timescale smoothness measure used when comparing TFMCC
+    /// with TCP.  A saw-toothing TCP flow scores high; an equation-based flow
+    /// whose rate drifts slowly scores low even when its long-run average
+    /// wanders (which [`Self::coefficient_of_variation`] would punish).
+    pub fn mean_relative_change(&self, from: f64, to: f64) -> f64 {
+        let vals = self.rates_between(from, to);
+        if vals.len() < 2 {
+            return 0.0;
+        }
+        let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+        if mean == 0.0 {
+            return 0.0;
+        }
+        let mean_step =
+            vals.windows(2).map(|w| (w[1] - w[0]).abs()).sum::<f64>() / (vals.len() - 1) as f64;
+        mean_step / mean
     }
 
     /// Maximum per-bin throughput in bytes/second.
@@ -214,6 +242,27 @@ mod tests {
             m.record(SimTime::from_secs(i as f64 + 0.1), bytes);
         }
         assert!(m.coefficient_of_variation(0.0, 20.0) > 0.5);
+    }
+
+    #[test]
+    fn meter_relative_change_separates_sawtooth_from_drift() {
+        // A slow linear drift: large total variance, tiny bin-to-bin steps.
+        let mut drifting = ThroughputMeter::new(1.0);
+        for i in 0..20u64 {
+            drifting.record(SimTime::from_secs(i as f64 + 0.1), 1000 + 100 * i);
+        }
+        // A saw-tooth at the same mean: small drift, large steps.
+        let mut sawtooth = ThroughputMeter::new(1.0);
+        for i in 0..20u64 {
+            let bytes = if i % 2 == 0 { 2900 } else { 1000 };
+            sawtooth.record(SimTime::from_secs(i as f64 + 0.1), bytes);
+        }
+        let drift_score = drifting.mean_relative_change(0.0, 20.0);
+        let saw_score = sawtooth.mean_relative_change(0.0, 20.0);
+        assert!(drift_score < 0.1, "drift score {drift_score}");
+        assert!(saw_score > 0.5, "sawtooth score {saw_score}");
+        // CoV, in contrast, cannot tell them apart.
+        assert!(drifting.coefficient_of_variation(0.0, 20.0) > 0.2);
     }
 
     #[test]

@@ -38,7 +38,12 @@ pub struct TfmccReceiverAgent {
 impl TfmccReceiverAgent {
     /// Creates the agent.  Reports are unicast to `sender_addr`; received
     /// data is attributed to `flow` in the local throughput meter.
-    pub fn new(receiver: TfmccReceiver, sender_addr: Address, group: GroupId, flow: FlowId) -> Self {
+    pub fn new(
+        receiver: TfmccReceiver,
+        sender_addr: Address,
+        group: GroupId,
+        flow: FlowId,
+    ) -> Self {
         TfmccReceiverAgent {
             receiver,
             sender_addr,

@@ -65,6 +65,8 @@ pub struct TfmccSessionBuilder {
     pub start_at: f64,
     /// Record the sending-rate series into the statistics registry.
     pub record_rate_series: bool,
+    /// Bin width (seconds) of each receiver's local throughput meter.
+    pub meter_bin: f64,
 }
 
 impl Default for TfmccSessionBuilder {
@@ -77,6 +79,7 @@ impl Default for TfmccSessionBuilder {
             flow: FlowId(100),
             start_at: 0.0,
             record_rate_series: false,
+            meter_bin: 1.0,
         }
     }
 }
@@ -101,7 +104,10 @@ impl TfmccSessionBuilder {
         sender_node: NodeId,
         receivers: &[ReceiverSpec],
     ) -> TfmccSession {
-        assert!(!receivers.is_empty(), "a session needs at least one receiver");
+        assert!(
+            !receivers.is_empty(),
+            "a session needs at least one receiver"
+        );
         let sender_addr = Address::new(sender_node, self.sender_port);
         let mut sender_agent = TfmccSenderAgent::new(
             TfmccSender::new(self.config.clone()),
@@ -119,6 +125,7 @@ impl TfmccSessionBuilder {
         for (i, spec) in receivers.iter().enumerate() {
             let proto = TfmccReceiver::new(ReceiverId(i as u64 + 1), self.config.clone());
             let mut agent = TfmccReceiverAgent::new(proto, sender_addr, self.group, self.flow)
+                .with_meter_bin(self.meter_bin)
                 .joining_at(spec.join_at);
             if let Some(t) = spec.leave_at {
                 agent = agent.leaving_at(t);
@@ -142,7 +149,8 @@ impl TfmccSession {
 
     /// Borrow a receiver agent by index.
     pub fn receiver_agent<'a>(&self, sim: &'a Simulator, index: usize) -> &'a TfmccReceiverAgent {
-        sim.agent(self.receivers[index]).expect("receiver agent exists")
+        sim.agent(self.receivers[index])
+            .expect("receiver agent exists")
     }
 
     /// Average throughput seen by receiver `index` over `[from, to]`, in
@@ -280,7 +288,12 @@ mod tests {
         let session = TfmccSessionBuilder::default().build(&mut sim, star.sender, &specs);
         sim.run_until(SimTime::from_secs(120.0));
         let with_rtt = (0..4)
-            .filter(|&i| session.receiver_agent(&sim, i).protocol().has_rtt_measurement())
+            .filter(|&i| {
+                session
+                    .receiver_agent(&sim, i)
+                    .protocol()
+                    .has_rtt_measurement()
+            })
             .count();
         assert!(
             with_rtt >= 2,
@@ -292,7 +305,10 @@ mod tests {
         let clr = sender.clr().expect("a CLR exists");
         let idx = (clr.0 - 1) as usize;
         let rtt = session.receiver_agent(&sim, idx).protocol().rtt();
-        assert!(rtt < 0.3, "CLR RTT estimate still near the initial value: {rtt}");
+        assert!(
+            rtt < 0.3,
+            "CLR RTT estimate still near the initial value: {rtt}"
+        );
     }
 
     /// A receiver joining behind a slow tail circuit must become the CLR and

@@ -107,7 +107,11 @@ pub fn fig10_tail_circuits(scale: Scale) -> Figure {
         .map(|_| StarLeg::clean(125_000.0, 0.02).with_queue(QueueDiscipline::drop_tail(30)))
         .collect();
     let star = star(&mut sim, &StarConfig::default(), &legs);
-    let specs: Vec<ReceiverSpec> = star.receivers.iter().map(|&n| ReceiverSpec::always(n)).collect();
+    let specs: Vec<ReceiverSpec> = star
+        .receivers
+        .iter()
+        .map(|&n| ReceiverSpec::always(n))
+        .collect();
     let session = TfmccSessionBuilder::default().build(&mut sim, star.sender, &specs);
     let mut tcp_sinks = Vec::new();
     for (i, &r) in star.receivers.iter().enumerate() {
@@ -170,7 +174,8 @@ fn return_path_scenario(
     let mut sim = Simulator::new(918);
     let legs: Vec<StarLeg> = (0..4)
         .map(|i| {
-            let mut leg = StarLeg::clean(250_000.0, 0.02).with_queue(QueueDiscipline::drop_tail(40));
+            let mut leg =
+                StarLeg::clean(250_000.0, 0.02).with_queue(QueueDiscipline::drop_tail(40));
             if let Some(&p) = reverse_loss.get(i) {
                 if p > 0.0 {
                     leg = leg.with_upstream_loss(p);
@@ -180,7 +185,11 @@ fn return_path_scenario(
         })
         .collect();
     let star = star(&mut sim, &StarConfig::default(), &legs);
-    let specs: Vec<ReceiverSpec> = star.receivers.iter().map(|&n| ReceiverSpec::always(n)).collect();
+    let specs: Vec<ReceiverSpec> = star
+        .receivers
+        .iter()
+        .map(|&n| ReceiverSpec::always(n))
+        .collect();
     let session = TfmccSessionBuilder::default().build(&mut sim, star.sender, &specs);
     // A forward TCP flow to each receiver provides the competing traffic.
     let mut tcp_sinks = Vec::new();
@@ -199,7 +208,11 @@ fn return_path_scenario(
     // Reverse-path TCP flows (receiver -> sender) loading the feedback path.
     for (i, &count) in reverse_tcp_flows.iter().enumerate() {
         for k in 0..count {
-            let sink = sim.add_agent(star.sender, Port(200 + (i * 8 + k) as u16), Box::new(TcpSink::new(1.0)));
+            let sink = sim.add_agent(
+                star.sender,
+                Port(200 + (i * 8 + k) as u16),
+                Box::new(TcpSink::new(1.0)),
+            );
             let sink_addr = sim.agent_addr(sink);
             sim.add_agent(
                 star.receivers[i],
@@ -291,6 +304,9 @@ mod tests {
             .map(|&(_, y)| y)
             .collect();
         let mean = late.iter().sum::<f64>() / late.len().max(1) as f64;
-        assert!(mean > 50.0, "TFMCC must keep sending despite feedback loss, got {mean} kbit/s");
+        assert!(
+            mean > 50.0,
+            "TFMCC must keep sending despite feedback loss, got {mean} kbit/s"
+        );
     }
 }

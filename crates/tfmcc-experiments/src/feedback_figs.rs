@@ -105,8 +105,16 @@ pub fn fig03_cancellation(scale: Scale) -> Figure {
             .collect();
         fig.push_series(Series::new(name, points));
     }
-    let a1 = fig.series("all suppressed (alpha=1)").unwrap().last_y().unwrap_or(0.0);
-    let a0 = fig.series("higher suppressed (alpha=0)").unwrap().last_y().unwrap_or(0.0);
+    let a1 = fig
+        .series("all suppressed (alpha=1)")
+        .unwrap()
+        .last_y()
+        .unwrap_or(0.0);
+    let a0 = fig
+        .series("higher suppressed (alpha=0)")
+        .unwrap()
+        .last_y()
+        .unwrap_or(0.0);
     fig.note(format!(
         "at the largest receiver set: alpha=1 -> {a1:.1} responses, alpha=0 -> {a0:.1}; alpha=0.1 sits close to alpha=1 (paper: only marginally more feedback)"
     ));
@@ -160,8 +168,16 @@ pub fn fig06_feedback_quality(scale: Scale) -> Figure {
         "quality of reported rate",
         |outcomes| mean_quality_absolute(outcomes),
     );
-    let unbiased = fig.series("unbiased exponential").unwrap().last_y().unwrap_or(0.0);
-    let modified = fig.series("modified offset").unwrap().last_y().unwrap_or(0.0);
+    let unbiased = fig
+        .series("unbiased exponential")
+        .unwrap()
+        .last_y()
+        .unwrap_or(0.0);
+    let modified = fig
+        .series("modified offset")
+        .unwrap()
+        .last_y()
+        .unwrap_or(0.0);
     fig.note(format!(
         "largest n: unbiased reports {unbiased:.3} above the true minimum, modified offset {modified:.3} (paper: ~0.2 vs a few percent)"
     ));

@@ -22,8 +22,8 @@ pub mod fairness_figs;
 pub mod feedback_figs;
 pub mod output;
 pub mod responsiveness_figs;
-pub mod scaling_figs;
 pub mod scale;
+pub mod scaling_figs;
 pub mod startup_figs;
 
 pub use output::{Figure, Series};

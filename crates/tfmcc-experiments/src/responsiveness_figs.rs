@@ -89,7 +89,8 @@ fn join_leave_star(
     let tfmcc = session.receiver_agent(&sim, 0).meter();
     let before = tfmcc.average_between(first_join * 0.5, first_join - 2.0);
     let worst_window_start = first_join + (n - 2) as f64 * interval;
-    let during_worst = tfmcc.average_between(worst_window_start, worst_window_start + interval - 2.0);
+    let during_worst =
+        tfmcc.average_between(worst_window_start, worst_window_start + interval - 2.0);
     let after = tfmcc.average_between(duration - interval + 2.0, duration - 2.0);
     fig.note(format!(
         "rate before joins {:.0} kbit/s, while the worst path is subscribed {:.0} kbit/s, after all leave {:.0} kbit/s (paper: rate tracks the currently worst receiver within seconds)",
@@ -166,7 +167,11 @@ fn rtt_change_reaction_delay(n: usize, change_at: f64, scale: Scale) -> f64 {
         })
         .collect();
     let star = star(&mut sim, &StarConfig::default(), &legs);
-    let specs: Vec<ReceiverSpec> = star.receivers.iter().map(|&r| ReceiverSpec::always(r)).collect();
+    let specs: Vec<ReceiverSpec> = star
+        .receivers
+        .iter()
+        .map(|&r| ReceiverSpec::always(r))
+        .collect();
     let session = TfmccSessionBuilder::default().build(&mut sim, star.sender, &specs);
     sim.run_until(SimTime::from_secs(change_at));
     // Increase receiver 0's path RTT sharply (both directions) so that its
@@ -217,8 +222,11 @@ pub fn fig21_flow_doubling(scale: Scale) -> Figure {
                 d.senders[pair],
                 Port(1),
                 Box::new(TcpSender::new(
-                    TcpSenderConfig::new(Address::new(d.receivers[pair], Port(1)), FlowId(6000 + pair as u64))
-                        .starting_at(start),
+                    TcpSenderConfig::new(
+                        Address::new(d.receivers[pair], Port(1)),
+                        FlowId(6000 + pair as u64),
+                    )
+                    .starting_at(start),
                 )),
             );
             tcp_sinks.push((wave, sink));

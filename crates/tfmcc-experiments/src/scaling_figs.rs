@@ -108,9 +108,13 @@ pub fn fig07_scaling(scale: Scale) -> Figure {
     let analytic: Vec<(f64, f64)> = ns
         .iter()
         .map(|&n| {
-            let kbit =
-                bytes_to_bits(scaling_throughput(n as u64, HISTORY as u32, LOSS_RATE, RTT, PACKET))
-                    / 1000.0;
+            let kbit = bytes_to_bits(scaling_throughput(
+                n as u64,
+                HISTORY as u32,
+                LOSS_RATE,
+                RTT,
+                PACKET,
+            )) / 1000.0;
             (n as f64, kbit)
         })
         .collect();
@@ -160,7 +164,10 @@ mod tests {
         let distrib = fig.series("distrib.").unwrap();
         let c_first = constant.points[0].1;
         let c_last = constant.last_y().unwrap();
-        assert!(c_last < c_first * 0.6, "constant loss must degrade strongly");
+        assert!(
+            c_last < c_first * 0.6,
+            "constant loss must degrade strongly"
+        );
         let d_first = distrib.points[0].1;
         let d_last = distrib.last_y().unwrap();
         // The stratified distribution retains a much larger fraction.
@@ -177,7 +184,11 @@ mod tests {
     #[test]
     fn fig17_peak_matches_paper() {
         let fig = fig17_loss_events_per_rtt(Scale::Quick);
-        let peak = fig.series[0].points.iter().map(|&(_, y)| y).fold(0.0, f64::max);
+        let peak = fig.series[0]
+            .points
+            .iter()
+            .map(|&(_, y)| y)
+            .fold(0.0, f64::max);
         assert!((0.10..=0.16).contains(&peak), "peak {peak}");
     }
 }

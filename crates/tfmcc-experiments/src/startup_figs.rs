@@ -71,7 +71,11 @@ pub fn fig14_slowstart(scale: Scale) -> Figure {
         "number of receivers",
         "max slowstart rate (kbit/s)",
     );
-    for (name, tcp_flows) in [("only TFMCC", 0usize), ("one competing TCP", 1), ("high stat. mux.", 4)] {
+    for (name, tcp_flows) in [
+        ("only TFMCC", 0usize),
+        ("one competing TCP", 1),
+        ("high stat. mux.", 4),
+    ] {
         let points: Vec<(f64, f64)> = counts
             .iter()
             .map(|&n| (n as f64, max_slowstart_rate(n, tcp_flows, scale)))
@@ -251,7 +255,10 @@ mod tests {
             assert!(y + 1e-9 >= last, "count must not decrease");
             last = y;
         }
-        assert!(series.last_y().unwrap() >= 1.0, "someone must measure an RTT");
+        assert!(
+            series.last_y().unwrap() >= 1.0,
+            "someone must measure an RTT"
+        );
     }
 
     #[test]

@@ -179,13 +179,20 @@ pub fn mean_responses(outcomes: &[RoundOutcome]) -> f64 {
     if outcomes.is_empty() {
         return 0.0;
     }
-    outcomes.iter().map(|o| o.responses.len() as f64).sum::<f64>() / outcomes.len() as f64
+    outcomes
+        .iter()
+        .map(|o| o.responses.len() as f64)
+        .sum::<f64>()
+        / outcomes.len() as f64
 }
 
 /// Mean time of the first response over a set of outcomes (rounds where
 /// nobody responded are skipped).
 pub fn mean_first_response(outcomes: &[RoundOutcome]) -> f64 {
-    let times: Vec<f64> = outcomes.iter().filter_map(|o| o.first_response_at).collect();
+    let times: Vec<f64> = outcomes
+        .iter()
+        .filter_map(|o| o.first_response_at)
+        .collect();
     if times.is_empty() {
         0.0
     } else {
@@ -207,7 +214,10 @@ pub fn mean_quality(outcomes: &[RoundOutcome]) -> f64 {
 /// Mean absolute feedback quality (paper Figure 6 measure) over a set of
 /// outcomes.
 pub fn mean_quality_absolute(outcomes: &[RoundOutcome]) -> f64 {
-    let vals: Vec<f64> = outcomes.iter().filter_map(|o| o.quality_absolute()).collect();
+    let vals: Vec<f64> = outcomes
+        .iter()
+        .filter_map(|o| o.quality_absolute())
+        .collect();
     if vals.is_empty() {
         0.0
     } else {

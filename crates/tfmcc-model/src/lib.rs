@@ -31,6 +31,6 @@ pub use order_stats::{
     expected_min_exponential, expected_min_gamma, expected_min_uniform, scaling_degradation,
 };
 pub use throughput::{
-    loss_events_per_rtt, mathis_loss_rate, mathis_throughput, padhye_loss_rate,
-    padhye_throughput, TcpModel,
+    loss_events_per_rtt, mathis_loss_rate, mathis_throughput, padhye_loss_rate, padhye_throughput,
+    TcpModel,
 };

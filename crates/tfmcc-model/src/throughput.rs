@@ -330,7 +330,13 @@ mod tests {
             mathis_throughput(s, rtt, p)
         );
         let r = 1e5;
-        assert_eq!(TcpModel::Mathis.loss_rate(s, rtt, r), mathis_loss_rate(s, rtt, r));
-        assert_eq!(TcpModel::Padhye.loss_rate(s, rtt, r), padhye_loss_rate(s, rtt, r));
+        assert_eq!(
+            TcpModel::Mathis.loss_rate(s, rtt, r),
+            mathis_loss_rate(s, rtt, r)
+        );
+        assert_eq!(
+            TcpModel::Padhye.loss_rate(s, rtt, r),
+            padhye_loss_rate(s, rtt, r)
+        );
     }
 }

@@ -226,7 +226,8 @@ mod tests {
         let mut sim = Simulator::new(403);
         let a = sim.add_node("a");
         let b = sim.add_node("b");
-        let (down, _) = sim.add_duplex_link(a, b, 1_250_000.0, 0.01, QueueDiscipline::drop_tail(500));
+        let (down, _) =
+            sim.add_duplex_link(a, b, 1_250_000.0, 0.01, QueueDiscipline::drop_tail(500));
         sim.set_link_loss(down, LossModel::Bernoulli { p: 0.1 });
         let (_, receivers) = build_session(&mut sim, a, &[b]);
         sim.run_until(SimTime::from_secs(60.0));

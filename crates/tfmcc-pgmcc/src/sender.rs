@@ -114,15 +114,19 @@ impl PgmccSenderAgent {
         }
     }
 
-    fn on_ack(&mut self, ctx: &mut Context<'_>, cumulative: u64, echo_timestamp: f64, loss_rate: f64, receiver: u64) {
+    fn on_ack(
+        &mut self,
+        ctx: &mut Context<'_>,
+        cumulative: u64,
+        echo_timestamp: f64,
+        loss_rate: f64,
+        receiver: u64,
+    ) {
         let now = ctx.now().as_secs();
         let rtt = (now - echo_timestamp).max(1e-3);
         self.srtt = 0.875 * self.srtt + 0.125 * rtt;
         self.last_ack_at = now;
-        if self
-            .tracker
-            .update(receiver, loss_rate, self.srtt, now)
-        {
+        if self.tracker.update(receiver, loss_rate, self.srtt, now) {
             self.stats.acker_changes += 1;
             // A new acker starts from a clean window state to avoid reacting
             // to the previous acker's sequence history.

@@ -117,7 +117,8 @@ impl TfmccConfig {
     /// paper Section 2.5.3).
     pub fn feedback_window(&self, max_rtt: f64, current_rate: f64) -> f64 {
         let base = self.feedback_t_rtt_multiple * max_rtt;
-        let low_rate = (self.low_rate_q + 1.0) * f64::from(self.packet_size) / current_rate.max(1.0);
+        let low_rate =
+            (self.low_rate_q + 1.0) * f64::from(self.packet_size) / current_rate.max(1.0);
         base.max(low_rate)
     }
 

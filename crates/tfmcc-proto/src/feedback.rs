@@ -78,9 +78,7 @@ impl FeedbackPlanner {
     pub fn timer(&self, rate_ratio: f64, window: f64, uniform: f64) -> f64 {
         assert!(window > 0.0, "feedback window must be positive");
         let x = uniform.clamp(1e-12, 1.0);
-        let exponential = |t_max: f64, n: f64| -> f64 {
-            (t_max * (1.0 + x.log(n))).max(0.0)
-        };
+        let exponential = |t_max: f64, n: f64| -> f64 { (t_max * (1.0 + x.log(n))).max(0.0) };
         let delta = self.offset_fraction;
         match self.method {
             BiasMethod::Unbiased => exponential(window, self.n_estimate),
@@ -198,6 +196,7 @@ mod tests {
     #[test]
     fn cancellation_rule_matches_paper() {
         let p = planner(); // alpha = 0.1
+
         // Own rate well above the echoed rate: cancel.
         assert!(p.should_cancel(1000.0, 900.0));
         // Own rate equal to the echoed rate: cancel.

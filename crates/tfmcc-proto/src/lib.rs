@@ -63,9 +63,7 @@ pub mod prelude {
     pub use crate::config::TfmccConfig;
     pub use crate::feedback::{BiasMethod, FeedbackPlanner};
     pub use crate::loss::LossHistory;
-    pub use crate::packets::{
-        DataPacket, FeedbackPacket, ReceiverId, RttEcho, SuppressionEcho,
-    };
+    pub use crate::packets::{DataPacket, FeedbackPacket, ReceiverId, RttEcho, SuppressionEcho};
     pub use crate::rate_meter::ReceiveRateMeter;
     pub use crate::receiver::{ReceiverStats, TfmccReceiver};
     pub use crate::rtt::RttEstimator;

@@ -419,10 +419,7 @@ mod tests {
         h.initialize_first_interval(125_000.0, rtt, false);
         let p = h.loss_event_rate();
         let expected = mathis_loss_rate(1000.0, rtt, 62_500.0);
-        assert!(
-            (p - expected).abs() < 1e-9,
-            "p {p} vs expected {expected}"
-        );
+        assert!((p - expected).abs() < 1e-9, "p {p} vs expected {expected}");
     }
 
     #[test]

@@ -144,7 +144,8 @@ impl TfmccReceiver {
 
     /// Initialises the RTT estimate from synchronized clocks (Section 2.4.1).
     pub fn init_clock_synchronized_rtt(&mut self, one_way_delay: f64, sync_error: f64) {
-        self.rtt.init_from_synchronized_clocks(one_way_delay, sync_error);
+        self.rtt
+            .init_from_synchronized_clocks(one_way_delay, sync_error);
     }
 
     /// The rate this receiver calculates from the control equation, in

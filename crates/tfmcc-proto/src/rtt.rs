@@ -81,7 +81,11 @@ impl RttEstimator {
             self.estimate = sample;
             self.has_measurement = true;
         } else {
-            let beta = if is_clr { self.beta_clr } else { self.beta_non_clr };
+            let beta = if is_clr {
+                self.beta_clr
+            } else {
+                self.beta_non_clr
+            };
             self.estimate = beta * sample + (1.0 - beta) * self.estimate;
         }
         self.owd_receiver_to_sender = Some(sample - one_way_sender_to_receiver);

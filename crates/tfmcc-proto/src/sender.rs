@@ -180,7 +180,8 @@ impl TfmccSender {
 
     /// The feedback window `T` currently advertised to receivers.
     pub fn feedback_window(&self) -> f64 {
-        self.config.feedback_window(self.max_rtt(), self.current_rate)
+        self.config
+            .feedback_window(self.max_rtt(), self.current_rate)
     }
 
     /// Processes a receiver report.
@@ -234,12 +235,7 @@ impl TfmccSender {
             } else {
                 effective_rate
             };
-            if echo_rate.is_finite()
-                && self
-                    .round_min
-                    .map(|m| echo_rate < m.rate)
-                    .unwrap_or(true)
-            {
+            if echo_rate.is_finite() && self.round_min.map(|m| echo_rate < m.rate).unwrap_or(true) {
                 self.round_min = Some(SuppressionEcho {
                     receiver: fb.receiver,
                     rate: echo_rate,
@@ -323,9 +319,11 @@ impl TfmccSender {
             rate: effective_rate,
         });
         self.echo_queue.sort_by(|a, b| {
-            a.priority
-                .cmp(&b.priority)
-                .then(a.rate.partial_cmp(&b.rate).unwrap_or(std::cmp::Ordering::Equal))
+            a.priority.cmp(&b.priority).then(
+                a.rate
+                    .partial_cmp(&b.rate)
+                    .unwrap_or(std::cmp::Ordering::Equal),
+            )
         });
         self.echo_queue.truncate(64);
     }

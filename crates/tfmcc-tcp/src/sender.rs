@@ -197,8 +197,7 @@ impl TcpSender {
                 self.srtt = Some(0.875 * srtt + 0.125 * sample);
             }
         }
-        self.rto = (self.srtt.unwrap_or(sample) + 4.0 * self.rttvar)
-            .clamp(self.cfg.min_rto, 60.0);
+        self.rto = (self.srtt.unwrap_or(sample) + 4.0 * self.rttvar).clamp(self.cfg.min_rto, 60.0);
     }
 
     fn on_ack(&mut self, ctx: &mut Context<'_>, ack: u64, echo_timestamp: f64) {
@@ -232,8 +231,7 @@ impl TcpSender {
                 self.cwnd = (self.cwnd + newly_acked as f64).min(self.cfg.max_cwnd);
             } else {
                 // Congestion avoidance: one packet per window per RTT.
-                self.cwnd =
-                    (self.cwnd + newly_acked as f64 / self.cwnd).min(self.cfg.max_cwnd);
+                self.cwnd = (self.cwnd + newly_acked as f64 / self.cwnd).min(self.cfg.max_cwnd);
             }
             self.arm_rto(ctx);
             self.fill_window(ctx);
@@ -370,7 +368,11 @@ mod tests {
             "TCP should saturate the 125 kB/s bottleneck, got {rate}"
         );
         let tx: &TcpSender = sim.agent(sender).unwrap();
-        assert!(tx.stats().timeouts < 10, "excessive timeouts: {:?}", tx.stats());
+        assert!(
+            tx.stats().timeouts < 10,
+            "excessive timeouts: {:?}",
+            tx.stats()
+        );
         assert!(tx.srtt().unwrap() > 0.03);
     }
 

@@ -79,7 +79,7 @@ impl TfrcSessionBuilder {
             sender_port: self.sender_port,
             flow: self.flow,
             start_at: self.start_at,
-            record_rate_series: false,
+            ..TfmccSessionBuilder::default()
         };
         let inner = builder.build(sim, sender_node, &[ReceiverSpec::always(receiver_node)]);
         TfrcSession { inner }
@@ -190,8 +190,14 @@ mod tests {
         sim.run_until(SimTime::from_secs(150.0));
         let r1 = f1.throughput(&sim, 60.0, 145.0);
         let r2 = f2.throughput(&sim, 60.0, 145.0);
-        assert!(r1 > 20_000.0 && r2 > 20_000.0, "both flows must progress: {r1} {r2}");
+        assert!(
+            r1 > 20_000.0 && r2 > 20_000.0,
+            "both flows must progress: {r1} {r2}"
+        );
         let fairness = r1.min(r2) / r1.max(r2);
-        assert!(fairness > 0.3, "intra-protocol fairness too poor: {r1} vs {r2}");
+        assert!(
+            fairness > 0.3,
+            "intra-protocol fairness too poor: {r1} vs {r2}"
+        );
     }
 }

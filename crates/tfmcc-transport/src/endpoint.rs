@@ -265,16 +265,15 @@ mod tests {
         let sender_addr = reserve.local_addr().unwrap();
         drop(reserve);
 
-        let r1 = UdpReceiverEndpoint::start(localhost_any(), sender_addr, ReceiverId(1), cfg.clone())
-            .unwrap();
-        let r2 = UdpReceiverEndpoint::start(localhost_any(), sender_addr, ReceiverId(2), cfg.clone())
-            .unwrap();
-        let sender = UdpSenderEndpoint::start(
-            sender_addr,
-            vec![r1.local_addr(), r2.local_addr()],
-            cfg,
-        )
-        .unwrap();
+        let r1 =
+            UdpReceiverEndpoint::start(localhost_any(), sender_addr, ReceiverId(1), cfg.clone())
+                .unwrap();
+        let r2 =
+            UdpReceiverEndpoint::start(localhost_any(), sender_addr, ReceiverId(2), cfg.clone())
+                .unwrap();
+        let sender =
+            UdpSenderEndpoint::start(sender_addr, vec![r1.local_addr(), r2.local_addr()], cfg)
+                .unwrap();
 
         // Let the session run briefly.  The initial rate is 2 packets/s and
         // the slowstart feedback window is ~3 s, so five seconds guarantees
@@ -283,7 +282,11 @@ mod tests {
         let s = sender.snapshot();
         let s1 = r1.snapshot();
         let s2 = r2.snapshot();
-        assert!(s.packets_sent >= 3, "sender sent only {} packets", s.packets_sent);
+        assert!(
+            s.packets_sent >= 3,
+            "sender sent only {} packets",
+            s.packets_sent
+        );
         assert!(
             s1.packets_received >= 2 && s2.packets_received >= 2,
             "receivers got {} / {} packets",

@@ -194,7 +194,11 @@ pub fn decode_message(mut data: &[u8]) -> Result<WireMessage, WireError> {
             let echo_timestamp = data.get_f64();
             let echo_delay = data.get_f64();
             let raw_rate = data.get_f64();
-            let calculated_rate = if raw_rate < 0.0 { f64::INFINITY } else { raw_rate };
+            let calculated_rate = if raw_rate < 0.0 {
+                f64::INFINITY
+            } else {
+                raw_rate
+            };
             let loss_event_rate = data.get_f64();
             let receive_rate = data.get_f64();
             let rtt = data.get_f64();

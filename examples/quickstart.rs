@@ -15,7 +15,13 @@ fn main() {
     // 1 Mbit/s link.
     let sender_node = sim.add_node("sender");
     let router = sim.add_node("router");
-    sim.add_duplex_link(sender_node, router, 12_500_000.0, 0.005, QueueDiscipline::drop_tail(200));
+    sim.add_duplex_link(
+        sender_node,
+        router,
+        12_500_000.0,
+        0.005,
+        QueueDiscipline::drop_tail(200),
+    );
     let mut receiver_nodes = Vec::new();
     for (i, bw) in [1_250_000.0, 625_000.0, 125_000.0].iter().enumerate() {
         let r = sim.add_node(&format!("receiver-{i}"));
@@ -24,7 +30,10 @@ fn main() {
     }
 
     // One call wires the whole TFMCC session.
-    let specs: Vec<ReceiverSpec> = receiver_nodes.iter().map(|&n| ReceiverSpec::always(n)).collect();
+    let specs: Vec<ReceiverSpec> = receiver_nodes
+        .iter()
+        .map(|&n| ReceiverSpec::always(n))
+        .collect();
     let session = TfmccSessionBuilder::default().build(&mut sim, sender_node, &specs);
 
     // Run and report every 20 simulated seconds.

@@ -13,7 +13,13 @@ fn single_rate_property_holds_across_heterogeneous_receivers() {
     let mut sim = Simulator::new(1001);
     let src = sim.add_node("src");
     let hub = sim.add_node("hub");
-    sim.add_duplex_link(src, hub, 12_500_000.0, 0.005, QueueDiscipline::drop_tail(200));
+    sim.add_duplex_link(
+        src,
+        hub,
+        12_500_000.0,
+        0.005,
+        QueueDiscipline::drop_tail(200),
+    );
     let bandwidths = [1_250_000.0, 250_000.0, 62_500.0]; // 10, 2, 0.5 Mbit/s
     let mut nodes = Vec::new();
     for (i, bw) in bandwidths.iter().enumerate() {
@@ -43,7 +49,10 @@ fn single_rate_property_holds_across_heterogeneous_receivers() {
         "single-rate violated: rates {rates:?}"
     );
     // And that rate is bounded by the slowest link.
-    assert!(max <= 62_500.0 * 1.05, "rate exceeds the slowest link: {max}");
+    assert!(
+        max <= 62_500.0 * 1.05,
+        "rate exceeds the slowest link: {max}"
+    );
     assert!(min >= 15_000.0, "group starved: {rates:?}");
 }
 
@@ -87,11 +96,20 @@ fn tfmcc_coexists_with_tcp_and_is_smoother() {
         (0.2..=5.0).contains(&ratio),
         "shares wildly unfair: TFMCC {tfmcc_rate} vs TCP {tcp_rate}"
     );
-    let tfmcc_cov = tfmcc_meter.coefficient_of_variation(80.0, 175.0);
-    let tcp_cov = tcp_meter.coefficient_of_variation(80.0, 175.0);
+    // Smoothness is a short-timescale property: compare bin-to-bin rate
+    // changes, not total variance (TFMCC's fair share may drift slowly while
+    // its instantaneous rate stays smooth).  TFMCC must be smooth in absolute
+    // terms and not substantially burstier than the competing TCP goodput,
+    // which the bottleneck queue already smooths considerably.
+    let tfmcc_smooth = tfmcc_meter.mean_relative_change(80.0, 175.0);
+    let tcp_smooth = tcp_meter.mean_relative_change(80.0, 175.0);
     assert!(
-        tfmcc_cov <= tcp_cov * 1.5,
-        "TFMCC should not be substantially burstier than TCP: CoV {tfmcc_cov:.2} vs {tcp_cov:.2}"
+        tfmcc_smooth < 0.10,
+        "TFMCC rate is not smooth: mean relative change {tfmcc_smooth:.3}"
+    );
+    assert!(
+        tfmcc_smooth <= tcp_smooth * 1.5,
+        "TFMCC should not be substantially burstier than TCP: mean relative change {tfmcc_smooth:.3} vs {tcp_smooth:.3}"
     );
 }
 

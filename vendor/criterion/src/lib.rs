@@ -1,0 +1,194 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The build container cannot reach crates.io, so the workspace's benches
+//! link against this minimal harness instead.  It exposes the API surface the
+//! benches use — `Criterion::bench_function`, `benchmark_group`,
+//! `bench_with_input`, `BenchmarkId`, `criterion_group!`/`criterion_main!` —
+//! and reports a simple mean wall-clock time per iteration.
+//!
+//! Each benchmark body executes [`SMOKE_ITERS`] times (so a bench run under
+//! `cargo test` doubles as a smoke test and stays fast).  Set
+//! `CRITERION_SAMPLE_ITERS` to a larger number for a more stable timing
+//! read.  Swap the `[workspace.dependencies]` path for the real `criterion`
+//! to get full statistics.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Iterations per benchmark body when no override is configured.
+pub const SMOKE_ITERS: u64 = 3;
+
+fn configured_iters() -> u64 {
+    std::env::var("CRITERION_SAMPLE_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(SMOKE_ITERS)
+}
+
+/// Timing context passed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    mean_ns: f64,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly and records the mean time per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.mean_ns = start.elapsed().as_nanos() as f64 / self.iters as f64;
+    }
+}
+
+fn run_one(name: &str, iters: u64, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        iters,
+        mean_ns: f64::NAN,
+    };
+    f(&mut b);
+    if b.mean_ns.is_nan() {
+        println!("{name:<50} (no measurement)");
+    } else if b.mean_ns >= 1_000_000.0 {
+        println!("{name:<50} {:>12.3} ms/iter", b.mean_ns / 1_000_000.0);
+    } else {
+        println!("{name:<50} {:>12.0} ns/iter", b.mean_ns);
+    }
+}
+
+/// Identifier for a parameterized benchmark, e.g. `throughput/1000`.
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter value.
+    pub fn new<S: Display, P: Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            full: format!("{function_name}/{parameter}"),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.full)
+    }
+}
+
+/// The benchmark driver handed to each `criterion_group!` function.
+#[derive(Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Registers and immediately runs a benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, configured_iters(), &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+            iters: configured_iters(),
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    iters: u64,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Caps the per-benchmark iteration count (criterion's sample count).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.iters = self.iters.min(n as u64).max(1);
+        self
+    }
+
+    /// Registers and immediately runs a benchmark in this group.
+    pub fn bench_function<S: Display, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: S,
+        mut f: F,
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id);
+        run_one(&name, self.iters, &mut f);
+        self
+    }
+
+    /// Registers and runs a benchmark parameterized over `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id);
+        run_one(&name, self.iters, &mut |b| f(b, input));
+        self
+    }
+
+    /// Finishes the group (a no-op in this harness).
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_body() {
+        let mut calls = 0u64;
+        let mut c = Criterion::default();
+        c.bench_function("smoke", |b| b.iter(|| calls += 1));
+        assert_eq!(calls, SMOKE_ITERS);
+    }
+
+    #[test]
+    fn group_runs_with_input() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        let mut total = 0u64;
+        group.bench_with_input(BenchmarkId::new("inp", 5), &5u64, |b, &n| {
+            b.iter(|| total += n)
+        });
+        group.finish();
+        assert_eq!(total, 10);
+    }
+}

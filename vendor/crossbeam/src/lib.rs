@@ -1,0 +1,39 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! Provides the `crossbeam::channel` surface the workspace uses — bounded
+//! channels with `send`/`try_recv`/`recv_timeout` — backed by
+//! `std::sync::mpsc::sync_channel`.  Semantics match for the single-producer
+//! control channels used here: `send` blocks when the buffer is full and
+//! errors once the receiver is gone.
+
+#![warn(missing_docs)]
+
+/// Multi-producer single-consumer channels.
+pub mod channel {
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
+
+    /// Sending half of a bounded channel.
+    pub type Sender<T> = std::sync::mpsc::SyncSender<T>;
+    /// Receiving half of a bounded channel.
+    pub type Receiver<T> = std::sync::mpsc::Receiver<T>;
+
+    /// Creates a bounded channel with room for `cap` in-flight messages.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::sync_channel(cap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{bounded, TryRecvError};
+
+    #[test]
+    fn bounded_channel_round_trips() {
+        let (tx, rx) = bounded::<u32>(1);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        tx.send(7).unwrap();
+        assert_eq!(rx.try_recv(), Ok(7));
+        drop(rx);
+        assert!(tx.send(8).is_err());
+    }
+}

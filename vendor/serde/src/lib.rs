@@ -1,0 +1,27 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build container has no crates.io access, so this crate provides just
+//! enough surface for `#[derive(Serialize, Deserialize)]` annotations in the
+//! workspace to compile: two marker traits and the matching derive macros
+//! (re-exported from the vendored `serde_derive`).  No serialization backend
+//! ships with it; when a real data format is needed, swap this path
+//! dependency for the real `serde` in `[workspace.dependencies]` — the
+//! annotated types need no changes.
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker for types that can be serialized.
+///
+/// The vendored derive implements this as a no-op; the real `serde` derive
+/// generates the full visitor machinery for the same annotation.
+pub trait Serialize {}
+
+/// Marker for types that can be deserialized.
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker for types deserializable without borrowing from the input.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}
