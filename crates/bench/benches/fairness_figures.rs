@@ -5,19 +5,34 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use netsim::prelude::*;
-use tfmcc_experiments::{fairness_figs, Scale};
+use tfmcc_experiments::{fairness_figs, Scale, SweepRunner};
 
 fn bench_fairness_figures(c: &mut Criterion) {
     let mut group = c.benchmark_group("fairness_figures");
     group.sample_size(10);
     group.bench_function("fig09_single_bottleneck_quick", |b| {
-        b.iter(|| black_box(fairness_figs::fig09_single_bottleneck(Scale::Quick)))
+        b.iter(|| {
+            black_box(fairness_figs::fig09_single_bottleneck(
+                &SweepRunner::serial(),
+                Scale::Quick,
+            ))
+        })
     });
     group.bench_function("fig10_tail_circuits_quick", |b| {
-        b.iter(|| black_box(fairness_figs::fig10_tail_circuits(Scale::Quick)))
+        b.iter(|| {
+            black_box(fairness_figs::fig10_tail_circuits(
+                &SweepRunner::serial(),
+                Scale::Quick,
+            ))
+        })
     });
     group.bench_function("fig19_lossy_return_paths_quick", |b| {
-        b.iter(|| black_box(fairness_figs::fig19_lossy_return_paths(Scale::Quick)))
+        b.iter(|| {
+            black_box(fairness_figs::fig19_lossy_return_paths(
+                &SweepRunner::serial(),
+                Scale::Quick,
+            ))
+        })
     });
     group.finish();
 }

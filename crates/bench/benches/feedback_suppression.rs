@@ -6,7 +6,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use tfmcc_experiments::feedback_figs;
-use tfmcc_experiments::Scale;
+use tfmcc_experiments::{Scale, SweepRunner};
 use tfmcc_feedback::{BiasMethod, FeedbackPlanner, FeedbackRound};
 use tfmcc_proto::prelude::TfmccConfig;
 
@@ -26,19 +26,44 @@ fn bench_figures(c: &mut Criterion) {
     let mut group = c.benchmark_group("feedback_figures");
     group.sample_size(10);
     group.bench_function("fig01_bias_cdf", |b| {
-        b.iter(|| black_box(feedback_figs::fig01_bias_cdf(Scale::Quick)))
+        b.iter(|| {
+            black_box(feedback_figs::fig01_bias_cdf(
+                &SweepRunner::serial(),
+                Scale::Quick,
+            ))
+        })
     });
     group.bench_function("fig03_cancellation", |b| {
-        b.iter(|| black_box(feedback_figs::fig03_cancellation(Scale::Quick)))
+        b.iter(|| {
+            black_box(feedback_figs::fig03_cancellation(
+                &SweepRunner::serial(),
+                Scale::Quick,
+            ))
+        })
     });
     group.bench_function("fig04_expected_feedback", |b| {
-        b.iter(|| black_box(feedback_figs::fig04_expected_feedback(Scale::Quick)))
+        b.iter(|| {
+            black_box(feedback_figs::fig04_expected_feedback(
+                &SweepRunner::serial(),
+                Scale::Quick,
+            ))
+        })
     });
     group.bench_function("fig05_response_time", |b| {
-        b.iter(|| black_box(feedback_figs::fig05_response_time(Scale::Quick)))
+        b.iter(|| {
+            black_box(feedback_figs::fig05_response_time(
+                &SweepRunner::serial(),
+                Scale::Quick,
+            ))
+        })
     });
     group.bench_function("fig06_feedback_quality", |b| {
-        b.iter(|| black_box(feedback_figs::fig06_feedback_quality(Scale::Quick)))
+        b.iter(|| {
+            black_box(feedback_figs::fig06_feedback_quality(
+                &SweepRunner::serial(),
+                Scale::Quick,
+            ))
+        })
     });
     group.finish();
 }

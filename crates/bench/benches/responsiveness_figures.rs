@@ -4,16 +4,26 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-use tfmcc_experiments::{responsiveness_figs, startup_figs, Scale};
+use tfmcc_experiments::{responsiveness_figs, startup_figs, Scale, SweepRunner};
 
 fn bench_responsiveness(c: &mut Criterion) {
     let mut group = c.benchmark_group("responsiveness_figures");
     group.sample_size(10);
     group.bench_function("fig11_loss_responsiveness_quick", |b| {
-        b.iter(|| black_box(responsiveness_figs::fig11_loss_responsiveness(Scale::Quick)))
+        b.iter(|| {
+            black_box(responsiveness_figs::fig11_loss_responsiveness(
+                &SweepRunner::serial(),
+                Scale::Quick,
+            ))
+        })
     });
     group.bench_function("fig21_flow_doubling_quick", |b| {
-        b.iter(|| black_box(responsiveness_figs::fig21_flow_doubling(Scale::Quick)))
+        b.iter(|| {
+            black_box(responsiveness_figs::fig21_flow_doubling(
+                &SweepRunner::serial(),
+                Scale::Quick,
+            ))
+        })
     });
     group.finish();
 }
@@ -22,13 +32,28 @@ fn bench_startup(c: &mut Criterion) {
     let mut group = c.benchmark_group("startup_figures");
     group.sample_size(10);
     group.bench_function("fig12_rtt_measurements_quick", |b| {
-        b.iter(|| black_box(startup_figs::fig12_rtt_measurements(Scale::Quick)))
+        b.iter(|| {
+            black_box(startup_figs::fig12_rtt_measurements(
+                &SweepRunner::serial(),
+                Scale::Quick,
+            ))
+        })
     });
     group.bench_function("fig14_slowstart_quick", |b| {
-        b.iter(|| black_box(startup_figs::fig14_slowstart(Scale::Quick)))
+        b.iter(|| {
+            black_box(startup_figs::fig14_slowstart(
+                &SweepRunner::serial(),
+                Scale::Quick,
+            ))
+        })
     });
     group.bench_function("fig15_late_join_quick", |b| {
-        b.iter(|| black_box(startup_figs::fig15_late_join(Scale::Quick)))
+        b.iter(|| {
+            black_box(startup_figs::fig15_late_join(
+                &SweepRunner::serial(),
+                Scale::Quick,
+            ))
+        })
     });
     group.finish();
 }

@@ -4,17 +4,27 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-use tfmcc_experiments::{scaling_figs, Scale};
+use tfmcc_experiments::{scaling_figs, Scale, SweepRunner};
 use tfmcc_model::{expected_min_gamma, expected_responses, scaling_degradation};
 
 fn bench_scaling_figures(c: &mut Criterion) {
     let mut group = c.benchmark_group("scaling_figures");
     group.sample_size(10);
     group.bench_function("fig07_scaling_quick", |b| {
-        b.iter(|| black_box(scaling_figs::fig07_scaling(Scale::Quick)))
+        b.iter(|| {
+            black_box(scaling_figs::fig07_scaling(
+                &SweepRunner::serial(),
+                Scale::Quick,
+            ))
+        })
     });
     group.bench_function("fig17_loss_events_per_rtt", |b| {
-        b.iter(|| black_box(scaling_figs::fig17_loss_events_per_rtt(Scale::Quick)))
+        b.iter(|| {
+            black_box(scaling_figs::fig17_loss_events_per_rtt(
+                &SweepRunner::serial(),
+                Scale::Quick,
+            ))
+        })
     });
     group.finish();
 }

@@ -44,12 +44,12 @@ impl RoutingTable {
             adjacency[e.from.0].push(*e);
         }
         let mut next_hop = vec![HashMap::new(); node_count];
-        for src in 0..node_count {
+        for (src, hops) in next_hop.iter_mut().enumerate() {
             let (dist, first_link) = dijkstra(src, node_count, &adjacency);
             for dst in 0..node_count {
                 if dst != src && dist[dst].is_finite() {
                     if let Some(link) = first_link[dst] {
-                        next_hop[src].insert(NodeId(dst), link);
+                        hops.insert(NodeId(dst), link);
                     }
                 }
             }

@@ -39,7 +39,11 @@ pub struct TimerId(u64);
 /// Implementations also provide `as_any`/`as_any_mut` so experiments can
 /// downcast a finished simulation's agents back to their concrete type to
 /// read out measurements.
-pub trait Agent: Any {
+///
+/// Agents must be `Send`: whole simulations are built and run inside worker
+/// threads by the parallel sweep runner, so a [`Simulator`] (which owns the
+/// boxed agents) has to be movable across threads.
+pub trait Agent: Any + Send {
     /// Called once when the simulation starts (or when the agent is added to
     /// an already-running simulation).
     fn start(&mut self, _ctx: &mut Context<'_>) {}
@@ -359,6 +363,14 @@ pub struct Simulator {
     agents: Vec<Option<Box<dyn Agent>>>,
 }
 
+// The parallel sweep runner builds and runs simulations on worker threads;
+// this assertion keeps every field of the simulator (agents included, via
+// the `Send` supertrait on [`Agent`]) transferable across threads.
+const _: fn() = || {
+    fn assert_send<T: Send>() {}
+    assert_send::<Simulator>();
+};
+
 impl Simulator {
     /// Creates an empty simulation with a deterministic RNG seed.
     pub fn new(seed: u64) -> Self {
@@ -442,9 +454,11 @@ impl Simulator {
     pub fn set_link_delay(&mut self, link: LinkId, delay: f64) {
         assert!(delay >= 0.0, "delay must be non-negative");
         self.world.links[link.0].delay = delay;
-        if let Some(edge) = self.world.edges.iter_mut().find(|e| e.link == link) {
-            edge.delay = delay;
-        }
+        // `add_link` pushes one edge per link in the same order, so the edge
+        // list is indexed by LinkId — no scan needed.
+        let edge = &mut self.world.edges[link.0];
+        debug_assert_eq!(edge.link, link, "edge list out of sync with links");
+        edge.delay = delay;
         self.world.routes_dirty = true;
     }
 
@@ -519,10 +533,7 @@ impl Simulator {
     /// Runs the simulation until the event queue is empty or `until` is
     /// reached (whichever comes first).  Time is advanced to `until`.
     pub fn run_until(&mut self, until: SimTime) {
-        loop {
-            let Some(Reverse(head)) = self.world.queue.peek() else {
-                break;
-            };
+        while let Some(Reverse(head)) = self.world.queue.peek() {
             if head.time > until {
                 break;
             }

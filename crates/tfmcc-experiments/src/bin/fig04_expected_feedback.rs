@@ -1,10 +1,11 @@
-//! Regenerates fig04_expected_feedback of the TFMCC paper.  Pass `--quick` for a reduced
-//! run suitable for smoke testing; the default is the paper's scale.
-
-use tfmcc_experiments::scale::Scale;
+//! Regenerates fig04_expected_feedback of the TFMCC paper on the parallel sweep runner.
+//!
+//! Shared CLI: `--quick` / `--paper` select the scale (overridden by the
+//! `TFMCC_SCALE` environment variable), `--threads N` sizes the sweep
+//! executor (results are byte-identical for any N), `--out FILE` writes the
+//! figure as deterministic JSON and `--bench-out FILE` writes the run's
+//! timing trajectory.
 
 fn main() {
-    let scale = Scale::from_args();
-    let figure = tfmcc_experiments::feedback_figs::fig04_expected_feedback(scale);
-    print!("{}", figure.to_csv());
+    tfmcc_experiments::cli::figure_main(tfmcc_experiments::feedback_figs::fig04_expected_feedback);
 }

@@ -1,0 +1,74 @@
+//! Sweep-scaling benchmark: runs the Figure-7 receiver-set sweep at several
+//! executor thread counts and writes the timing trajectory as a
+//! `BENCH_*.json` artifact (what the CI bench-smoke job uploads).
+//!
+//! Usage: `sweep_bench [--quick | --paper] [--threads N] [--out FILE]`
+//!
+//! `--threads N` caps the largest thread count tried; `--out` overrides the
+//! default `BENCH_sweeps.json` output path.  Figure results are also checked
+//! to be byte-identical across the tried thread counts, so the benchmark
+//! doubles as an end-to-end determinism check.
+
+use std::time::Instant;
+
+use tfmcc_experiments::scale::Scale;
+use tfmcc_experiments::scaling_figs::fig07_scaling;
+use tfmcc_runner::{Json, RunnerArgs, SweepRunner};
+
+fn main() {
+    let args = RunnerArgs::parse();
+    let scale = Scale::resolve(args.quick);
+    let max_threads = args.effective_threads();
+    let out = args
+        .out
+        .unwrap_or_else(|| std::path::PathBuf::from("BENCH_sweeps.json"));
+
+    let mut thread_counts = vec![1usize];
+    let mut t = 2;
+    while t <= max_threads {
+        thread_counts.push(t);
+        t *= 2;
+    }
+
+    let mut trajectory = Vec::new();
+    let mut reference: Option<String> = None;
+    for &threads in &thread_counts {
+        let runner = SweepRunner::new(threads);
+        let started = Instant::now();
+        let figure = fig07_scaling(&runner, scale);
+        let wall = started.elapsed().as_secs_f64();
+        let json = figure.to_json().render();
+        match &reference {
+            None => reference = Some(json),
+            Some(expected) => assert_eq!(
+                expected, &json,
+                "fig07 results differ between 1 and {threads} threads"
+            ),
+        }
+        let report = runner.report();
+        eprintln!(
+            "# fig07 {scale:?} with {threads} thread(s): {wall:.3}s wall, {:.3}s busy over {} points",
+            report.busy_secs(),
+            report.records.len()
+        );
+        trajectory.push(Json::Obj(vec![
+            ("threads".into(), Json::num(threads as f64)),
+            ("wall_secs".into(), Json::num(wall)),
+            ("busy_secs".into(), Json::num(report.busy_secs())),
+            ("points".into(), Json::num(report.records.len() as f64)),
+        ]));
+    }
+
+    let doc = Json::Obj(vec![
+        ("name".into(), Json::str("sweep_fig07")),
+        ("scale".into(), Json::str(format!("{scale:?}"))),
+        ("trajectory".into(), Json::Arr(trajectory)),
+    ]);
+    let mut body = doc.render();
+    body.push('\n');
+    if let Err(err) = std::fs::write(&out, body) {
+        eprintln!("error: cannot write {}: {err}", out.display());
+        std::process::exit(1);
+    }
+    eprintln!("# wrote {}", out.display());
+}

@@ -1,0 +1,106 @@
+//! The shared experiment CLI and the common `main` of every figure binary.
+//!
+//! All `fig*` binaries accept the same flags (parsed by
+//! [`tfmcc_runner::RunnerArgs`]):
+//!
+//! ```text
+//! fig07_scaling [--quick | --paper] [--threads N] [--out FILE] [--bench-out FILE]
+//! ```
+//!
+//! * `--quick` / `--paper` select the experiment [`Scale`] (the `TFMCC_SCALE`
+//!   environment variable overrides both, so tests and CI can pin the scale
+//!   without controlling argv);
+//! * `--threads N` sizes the sweep executor (default: all cores).  Results
+//!   are byte-identical for any `N`;
+//! * `--out FILE` writes the figure as deterministic JSON in addition to the
+//!   CSV on stdout;
+//! * `--bench-out FILE` writes the run's timing trajectory (`BENCH_*.json`).
+
+use std::time::Instant;
+
+use tfmcc_runner::{RunnerArgs, SweepRunner};
+
+use crate::output::Figure;
+use crate::scale::Scale;
+
+/// Resolved configuration of one figure-binary invocation.
+pub struct FigureCli {
+    /// The experiment scale.
+    pub scale: Scale,
+    /// The sweep executor every figure function runs its points on.
+    pub runner: SweepRunner,
+    /// Where to write the figure JSON, if requested.
+    pub out: Option<std::path::PathBuf>,
+    /// Where to write the timing trajectory, if requested.
+    pub bench_out: Option<std::path::PathBuf>,
+}
+
+impl FigureCli {
+    /// Parses the process arguments and environment (exits on CLI errors).
+    pub fn parse() -> Self {
+        Self::from_runner_args(RunnerArgs::parse())
+    }
+
+    /// Builds the configuration from already-parsed arguments.
+    pub fn from_runner_args(args: RunnerArgs) -> Self {
+        FigureCli {
+            scale: Scale::resolve(args.quick),
+            runner: SweepRunner::new(args.effective_threads()),
+            out: args.out,
+            bench_out: args.bench_out,
+        }
+    }
+}
+
+/// The shared `main` of the figure binaries: parse the CLI, run the figure
+/// on the sweep executor, print CSV to stdout, honour `--out`/`--bench-out`,
+/// and log a one-line timing summary to stderr.
+pub fn figure_main(run: fn(&SweepRunner, Scale) -> Figure) {
+    let cli = FigureCli::parse();
+    let started = Instant::now();
+    let figure = run(&cli.runner, cli.scale);
+    print!("{}", figure.to_csv());
+    if let Some(path) = &cli.out {
+        let mut json = figure.to_json().render();
+        json.push('\n');
+        if let Err(err) = std::fs::write(path, json) {
+            eprintln!("error: cannot write {}: {err}", path.display());
+            std::process::exit(1);
+        }
+    }
+    if let Some(path) = &cli.bench_out {
+        if let Err(err) = cli.runner.write_bench_json(&figure.id, path) {
+            eprintln!("error: cannot write {}: {err}", path.display());
+            std::process::exit(1);
+        }
+    }
+    let report = cli.runner.report();
+    eprintln!(
+        "# {}: {} sweep points on {} thread(s) in {:.2}s (busy {:.2}s)",
+        figure.id,
+        report.records.len(),
+        report.threads,
+        started.elapsed().as_secs_f64(),
+        report.busy_secs(),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cli_resolves_scale_and_threads() {
+        // Serialize with other TFMCC_SCALE-touching tests and pin a clean
+        // environment so the flag must win.
+        let _guard = crate::scale::env_lock();
+        std::env::remove_var("TFMCC_SCALE");
+        let args =
+            RunnerArgs::try_parse(["--quick", "--threads", "3"].iter().map(|s| s.to_string()))
+                .unwrap();
+        let cli = FigureCli::from_runner_args(args);
+        assert_eq!(cli.scale, Scale::Quick);
+        assert_eq!(cli.runner.threads(), 3);
+        assert!(cli.out.is_none() && cli.bench_out.is_none());
+    }
+}

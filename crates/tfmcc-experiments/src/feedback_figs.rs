@@ -1,4 +1,9 @@
 //! Figures 1–6: the feedback suppression mechanism in isolation.
+//!
+//! Every figure runs its independent evaluation points (bias methods,
+//! cancellation strategies, receiver counts) through the sweep executor;
+//! Monte-Carlo points derive their seeds from the sweep, so results are
+//! identical for any thread count.
 
 use tfmcc_feedback::round::{
     mean_first_response, mean_quality_absolute, mean_responses, FeedbackRound,
@@ -6,6 +11,7 @@ use tfmcc_feedback::round::{
 use tfmcc_feedback::{timer_cdf, BiasMethod, FeedbackPlanner};
 use tfmcc_model::feedback_expectation::expected_responses;
 use tfmcc_proto::config::TfmccConfig;
+use tfmcc_runner::{Sweep, SweepRunner};
 
 use crate::output::{Figure, Series};
 use crate::scale::Scale;
@@ -23,7 +29,7 @@ const WINDOW: f64 = 6.0;
 const DELAY: f64 = 1.0;
 
 /// Figure 1: CDF of the feedback time for the different biasing methods.
-pub fn fig01_bias_cdf(_scale: Scale) -> Figure {
+pub fn fig01_bias_cdf(runner: &SweepRunner, _scale: Scale) -> Figure {
     let mut fig = Figure::new(
         "fig01",
         "Different feedback biasing methods",
@@ -32,16 +38,18 @@ pub fn fig01_bias_cdf(_scale: Scale) -> Figure {
     );
     // The paper plots a moderately congested receiver (rate ratio 0.7).
     let ratio = 0.7;
-    for (name, method) in [
+    let methods = vec![
         ("exponential", BiasMethod::Unbiased),
         ("offset", BiasMethod::ModifiedOffset),
         ("modified N", BiasMethod::ModifiedN),
-    ] {
+    ];
+    let sweep = Sweep::new("fig01", 1, methods);
+    for series in runner.run(&sweep, |pt| {
+        let (name, method) = *pt.value;
         let cdf = timer_cdf(&planner(method, 0.1), ratio, 4.0, 200);
-        fig.push_series(Series::new(
-            name,
-            cdf.iter().map(|p| (p.time, p.probability)).collect(),
-        ));
+        Series::new(name, cdf.iter().map(|p| (p.time, p.probability)).collect())
+    }) {
+        fig.push_series(series);
     }
     let exp_early = fig.series("exponential").unwrap().points[25].1;
     let modn_early = fig.series("modified N").unwrap().points[25].1;
@@ -52,7 +60,7 @@ pub fn fig01_bias_cdf(_scale: Scale) -> Figure {
 }
 
 /// Figure 2: time–value distribution of one feedback round, offset vs normal.
-pub fn fig02_time_value(scale: Scale) -> Figure {
+pub fn fig02_time_value(runner: &SweepRunner, scale: Scale) -> Figure {
     let n = scale.pick(60, 120);
     let mut fig = Figure::new(
         "fig02",
@@ -60,26 +68,32 @@ pub fn fig02_time_value(scale: Scale) -> Figure {
         "feedback time (RTTs)",
         "feedback value (rate ratio)",
     );
-    for (name, method) in [
+    let methods = vec![
         ("normal sent", BiasMethod::Unbiased),
         ("offset sent", BiasMethod::ModifiedOffset),
-    ] {
+    ];
+    let sweep = Sweep::new("fig02", 2, methods);
+    for (series, note) in runner.run(&sweep, |pt| {
+        let (name, method) = *pt.value;
         let round = FeedbackRound::new(planner(method, 1.0), WINDOW, DELAY);
         let outcome = &round.simulate_uniform(n, 1, 2)[0];
-        fig.push_series(Series::new(name, outcome.responses.clone()));
-        fig.note(format!(
+        let note = format!(
             "{name}: {} responses, best value {:.3} vs true minimum {:.3}",
             outcome.responses.len(),
             outcome.best_reported.unwrap_or(f64::NAN),
             outcome.true_minimum
-        ));
+        );
+        (Series::new(name, outcome.responses.clone()), note)
+    }) {
+        fig.push_series(series);
+        fig.note(note);
     }
     fig
 }
 
 /// Figure 3: number of responses in the worst case for the cancellation
 /// strategies (alpha = 1, 0.1, 0).
-pub fn fig03_cancellation(scale: Scale) -> Figure {
+pub fn fig03_cancellation(runner: &SweepRunner, scale: Scale) -> Figure {
     let ns: Vec<usize> = scale.pick(vec![1, 10, 100, 1000], vec![1, 10, 100, 1000, 10_000]);
     let runs = scale.pick(3, 10);
     let mut fig = Figure::new(
@@ -88,22 +102,32 @@ pub fn fig03_cancellation(scale: Scale) -> Figure {
         "number of receivers",
         "number of responses",
     );
-    for (name, alpha) in [
+    let strategies = [
         ("all suppressed (alpha=1)", 1.0),
         ("10% lower suppressed (alpha=0.1)", 0.1),
         ("higher suppressed (alpha=0)", 0.0),
-    ] {
+    ];
+    // One sweep point per (strategy, receiver count); the worst case of
+    // Figure 3 is all receivers suddenly congested with similar (but not
+    // identical) low rates.
+    let points: Vec<(f64, usize)> = strategies
+        .iter()
+        .flat_map(|&(_, alpha)| ns.iter().map(move |&n| (alpha, n)))
+        .collect();
+    let sweep = Sweep::new("fig03", 42, points);
+    let means = runner.run(&sweep, |pt| {
+        let (alpha, n) = *pt.value;
         let round = FeedbackRound::new(planner(BiasMethod::ModifiedOffset, alpha), WINDOW, DELAY);
+        let outcomes = round.simulate_uniform_range(n, runs, 0.0, 0.2, pt.seed);
+        mean_responses(&outcomes)
+    });
+    for (s, chunk) in strategies.iter().zip(means.chunks(ns.len())) {
         let points: Vec<(f64, f64)> = ns
             .iter()
-            .map(|&n| {
-                // Worst case of Figure 3: all receivers suddenly congested
-                // with similar (but not identical) low rates.
-                let outcomes = round.simulate_uniform_range(n, runs, 0.0, 0.2, 42);
-                (n as f64, mean_responses(&outcomes))
-            })
+            .zip(chunk)
+            .map(|(&n, &mean)| (n as f64, mean))
             .collect();
-        fig.push_series(Series::new(name, points));
+        fig.push_series(Series::new(s.0, points));
     }
     let a1 = fig
         .series("all suppressed (alpha=1)")
@@ -122,7 +146,7 @@ pub fn fig03_cancellation(scale: Scale) -> Figure {
 }
 
 /// Figure 4: expected number of feedback messages vs T' and n (closed form).
-pub fn fig04_expected_feedback(scale: Scale) -> Figure {
+pub fn fig04_expected_feedback(runner: &SweepRunner, scale: Scale) -> Figure {
     let ns: Vec<u64> = scale.pick(
         vec![1, 10, 100, 1000],
         vec![1, 3, 10, 30, 100, 300, 1000, 3000, 10_000, 100_000],
@@ -133,12 +157,16 @@ pub fn fig04_expected_feedback(scale: Scale) -> Figure {
         "number of receivers",
         "number of responses",
     );
-    for t in [2.0, 3.0, 4.0, 5.0, 6.0] {
+    let sweep = Sweep::new("fig04", 4, vec![2.0, 3.0, 4.0, 5.0, 6.0]);
+    for series in runner.run(&sweep, |pt| {
+        let t = *pt.value;
         let points: Vec<(f64, f64)> = ns
             .iter()
             .map(|&n| (n as f64, expected_responses(n, 10_000.0, t, 1.0)))
             .collect();
-        fig.push_series(Series::new(format!("T'={t} RTTs"), points));
+        Series::new(format!("T'={t} RTTs"), points)
+    }) {
+        fig.push_series(series);
     }
     let at4 = fig.series("T'=4 RTTs").unwrap();
     fig.note(format!(
@@ -149,24 +177,26 @@ pub fn fig04_expected_feedback(scale: Scale) -> Figure {
 }
 
 /// Figure 5: mean response time vs receiver count for the biasing methods.
-pub fn fig05_response_time(scale: Scale) -> Figure {
+pub fn fig05_response_time(runner: &SweepRunner, scale: Scale) -> Figure {
     run_bias_comparison(
+        runner,
         scale,
         "fig05",
         "Comparison of methods to bias feedback (response time)",
         "response time (RTTs)",
-        |outcomes| mean_first_response(outcomes),
+        mean_first_response,
     )
 }
 
 /// Figure 6: quality of the reported rate vs receiver count.
-pub fn fig06_feedback_quality(scale: Scale) -> Figure {
+pub fn fig06_feedback_quality(runner: &SweepRunner, scale: Scale) -> Figure {
     let mut fig = run_bias_comparison(
+        runner,
         scale,
         "fig06",
         "Comparison of methods to bias feedback (quality of reported rate)",
         "quality of reported rate",
-        |outcomes| mean_quality_absolute(outcomes),
+        mean_quality_absolute,
     );
     let unbiased = fig
         .series("unbiased exponential")
@@ -185,6 +215,7 @@ pub fn fig06_feedback_quality(scale: Scale) -> Figure {
 }
 
 fn run_bias_comparison(
+    runner: &SweepRunner,
     scale: Scale,
     id: &str,
     title: &str,
@@ -194,17 +225,24 @@ fn run_bias_comparison(
     let ns: Vec<usize> = scale.pick(vec![1, 10, 100, 1000], vec![1, 10, 100, 1000, 10_000]);
     let runs = scale.pick(5, 30);
     let mut fig = Figure::new(id, title, "number of receivers", y_label);
-    for (name, method) in [
+    let methods = [
         ("unbiased exponential", BiasMethod::Unbiased),
         ("basic offset", BiasMethod::BasicOffset),
         ("modified offset", BiasMethod::ModifiedOffset),
-    ] {
+    ];
+    let points: Vec<(BiasMethod, usize)> = methods
+        .iter()
+        .flat_map(|&(_, method)| ns.iter().map(move |&n| (method, n)))
+        .collect();
+    let sweep = Sweep::new(id, 7, points);
+    let values = runner.run(&sweep, |pt| {
+        let (method, n) = *pt.value;
         let round = FeedbackRound::new(planner(method, 1.0), WINDOW, DELAY);
-        let points: Vec<(f64, f64)> = ns
-            .iter()
-            .map(|&n| (n as f64, metric(&round.simulate_uniform(n, runs, 7))))
-            .collect();
-        fig.push_series(Series::new(name, points));
+        metric(&round.simulate_uniform(n, runs, pt.seed))
+    });
+    for (m, chunk) in methods.iter().zip(values.chunks(ns.len())) {
+        let points: Vec<(f64, f64)> = ns.iter().zip(chunk).map(|(&n, &v)| (n as f64, v)).collect();
+        fig.push_series(Series::new(m.0, points));
     }
     fig
 }
@@ -213,9 +251,13 @@ fn run_bias_comparison(
 mod tests {
     use super::*;
 
+    fn runner() -> SweepRunner {
+        SweepRunner::new(2)
+    }
+
     #[test]
     fn fig01_cdfs_are_valid_distributions() {
-        let fig = fig01_bias_cdf(Scale::Quick);
+        let fig = fig01_bias_cdf(&runner(), Scale::Quick);
         assert_eq!(fig.series.len(), 3);
         for s in &fig.series {
             assert!((s.last_y().unwrap() - 1.0).abs() < 1e-9);
@@ -224,7 +266,7 @@ mod tests {
 
     #[test]
     fn fig03_alpha_one_stays_near_constant() {
-        let fig = fig03_cancellation(Scale::Quick);
+        let fig = fig03_cancellation(&runner(), Scale::Quick);
         let strict = fig.series("all suppressed (alpha=1)").unwrap();
         // Paper: with alpha=1 the number of responses stays roughly constant
         // in n (no implosion).
@@ -237,7 +279,7 @@ mod tests {
 
     #[test]
     fn fig04_larger_window_fewer_responses() {
-        let fig = fig04_expected_feedback(Scale::Quick);
+        let fig = fig04_expected_feedback(&runner(), Scale::Quick);
         let t2 = fig.series("T'=2 RTTs").unwrap().last_y().unwrap();
         let t6 = fig.series("T'=6 RTTs").unwrap().last_y().unwrap();
         assert!(t6 < t2);
@@ -245,12 +287,12 @@ mod tests {
 
     #[test]
     fn fig05_and_fig06_show_the_bias_advantage() {
-        let f5 = fig05_response_time(Scale::Quick);
+        let f5 = fig05_response_time(&runner(), Scale::Quick);
         for s in &f5.series {
             // Response time decreases (roughly) with n.
             assert!(s.points.first().unwrap().1 >= s.points.last().unwrap().1 - 0.5);
         }
-        let f6 = fig06_feedback_quality(Scale::Quick);
+        let f6 = fig06_feedback_quality(&runner(), Scale::Quick);
         let unbiased = f6.series("unbiased exponential").unwrap().last_y().unwrap();
         let modified = f6.series("modified offset").unwrap().last_y().unwrap();
         assert!(modified <= unbiased + 1e-9);
@@ -258,9 +300,25 @@ mod tests {
 
     #[test]
     fn fig02_has_responses_for_both_methods() {
-        let fig = fig02_time_value(Scale::Quick);
+        let fig = fig02_time_value(&runner(), Scale::Quick);
         for s in &fig.series {
             assert!(!s.points.is_empty());
+        }
+    }
+
+    #[test]
+    fn figures_are_thread_count_invariant() {
+        for (a, b) in [
+            (
+                fig03_cancellation(&SweepRunner::new(1), Scale::Quick),
+                fig03_cancellation(&SweepRunner::new(8), Scale::Quick),
+            ),
+            (
+                fig05_response_time(&SweepRunner::new(1), Scale::Quick),
+                fig05_response_time(&SweepRunner::new(8), Scale::Quick),
+            ),
+        ] {
+            assert_eq!(a.to_json().render(), b.to_json().render());
         }
     }
 }

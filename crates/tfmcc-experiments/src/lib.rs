@@ -1,11 +1,15 @@
 //! Experiment harness reproducing every figure of the TFMCC paper.
 //!
-//! Each module covers one family of figures and exposes `run(scale)`
-//! functions returning a [`output::Figure`] — a set of named columns plus
-//! summary lines — which the per-figure binaries in `src/bin/` print as CSV.
+//! Each module covers one family of figures and exposes
+//! `run(runner, scale)` functions returning a [`output::Figure`] — a set of
+//! named columns plus summary lines — which the per-figure binaries in
+//! `src/bin/` print as CSV (and, with `--out`, write as deterministic JSON).
 //! [`scale::Scale`] lets the same code run at paper scale (full receiver
 //! counts and durations) or at a reduced scale suitable for tests and
-//! Criterion benches.
+//! Criterion benches; the [`tfmcc_runner::SweepRunner`] argument shards each
+//! figure's independent simulation points across worker threads with
+//! deterministic per-point seeds, so results are byte-identical for any
+//! `--threads N`.
 //!
 //! | Figures | Module |
 //! |---------|--------|
@@ -18,6 +22,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod cli;
 pub mod fairness_figs;
 pub mod feedback_figs;
 pub mod output;
@@ -25,6 +30,8 @@ pub mod responsiveness_figs;
 pub mod scale;
 pub mod scaling_figs;
 pub mod startup_figs;
+pub mod sweeps;
 
 pub use output::{Figure, Series};
 pub use scale::Scale;
+pub use tfmcc_runner::SweepRunner;

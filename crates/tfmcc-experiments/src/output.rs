@@ -1,4 +1,6 @@
-//! Result containers and CSV output for the experiment binaries.
+//! Result containers and CSV/JSON output for the experiment binaries.
+
+use tfmcc_runner::Json;
 
 /// A named data series (one curve of a figure).
 #[derive(Debug, Clone, PartialEq)]
@@ -102,6 +104,46 @@ impl Figure {
         }
         out
     }
+
+    /// Renders the figure as a deterministic JSON document (what `--out`
+    /// writes).  Rendering is byte-identical for identical data, so sweep
+    /// results can be diffed across thread counts and runs.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("id".into(), Json::str(&self.id)),
+            ("title".into(), Json::str(&self.title)),
+            ("x_label".into(), Json::str(&self.x_label)),
+            ("y_label".into(), Json::str(&self.y_label)),
+            (
+                "series".into(),
+                Json::Arr(
+                    self.series
+                        .iter()
+                        .map(|s| {
+                            Json::Obj(vec![
+                                ("name".into(), Json::str(&s.name)),
+                                (
+                                    "points".into(),
+                                    Json::Arr(
+                                        s.points
+                                            .iter()
+                                            .map(|&(x, y)| {
+                                                Json::Arr(vec![Json::num(x), Json::num(y)])
+                                            })
+                                            .collect(),
+                                    ),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "summary".into(),
+                Json::Arr(self.summary.iter().map(Json::str).collect()),
+            ),
+        ])
+    }
 }
 
 #[cfg(test)]
@@ -121,5 +163,18 @@ mod tests {
         assert!(csv.contains("# shape ok"));
         assert_eq!(fig.series("a").unwrap().last_y(), Some(2.0));
         assert_eq!(fig.series("b").unwrap().mean_y(), 3.0);
+    }
+
+    #[test]
+    fn json_rendering_is_deterministic_and_complete() {
+        let mut fig = Figure::new("figX", "Test", "time", "rate");
+        fig.push_series(Series::new("a", vec![(0.0, 1.0), (1.0, 2.5)]));
+        fig.note("shape ok");
+        let json = fig.to_json().render();
+        assert_eq!(
+            json,
+            r#"{"id":"figX","title":"Test","x_label":"time","y_label":"rate","series":[{"name":"a","points":[[0,1],[1,2.5]]}],"summary":["shape ok"]}"#
+        );
+        assert_eq!(json, fig.to_json().render());
     }
 }

@@ -1,13 +1,20 @@
 //! Figures 11, 13, 20 and 21: responsiveness to changes in loss, RTT and the
 //! number of competing flows.
+//!
+//! Figure 13 is a receiver-count × change-time grid where every point is an
+//! independent simulation — it shards across the sweep executor's workers.
+//! Figures 11, 20 and 21 are single join/leave scenarios and run as
+//! one-point sweeps with their historical seeds.
 
 use netsim::prelude::*;
 use tfmcc_agents::session::{ReceiverSpec, TfmccSessionBuilder};
+use tfmcc_runner::{Sweep, SweepRunner};
 use tfmcc_tcp::{TcpSender, TcpSenderConfig, TcpSink};
 
 use crate::fairness_figs::meter_series;
 use crate::output::{Figure, Series};
 use crate::scale::Scale;
+use crate::sweeps::run_single_sim;
 
 /// Shared star scenario of Figures 11 and 20: four receivers joining in
 /// order of their path quality and leaving in reverse order, with one TCP
@@ -105,30 +112,34 @@ fn join_leave_star(
 
 /// Figure 11: responsiveness to changes in the loss rate (star with 0.1 %,
 /// 0.5 %, 2.5 % and 12.5 % loss legs, 60 ms RTT).
-pub fn fig11_loss_responsiveness(scale: Scale) -> Figure {
-    join_leave_star(
-        "fig11",
-        "Responsiveness to changes in the loss rate",
-        &[0.001, 0.005, 0.025, 0.125],
-        &[0.06, 0.06, 0.06, 0.06],
-        scale,
-    )
+pub fn fig11_loss_responsiveness(runner: &SweepRunner, scale: Scale) -> Figure {
+    run_single_sim(runner, "fig11", || {
+        join_leave_star(
+            "fig11",
+            "Responsiveness to changes in the loss rate",
+            &[0.001, 0.005, 0.025, 0.125],
+            &[0.06, 0.06, 0.06, 0.06],
+            scale,
+        )
+    })
 }
 
 /// Figure 20: responsiveness to network delay (30/60/120/240 ms legs).
-pub fn fig20_delay_responsiveness(scale: Scale) -> Figure {
-    join_leave_star(
-        "fig20",
-        "Responsiveness to network delay",
-        &[0.002, 0.002, 0.002, 0.002],
-        &[0.03, 0.06, 0.12, 0.24],
-        scale,
-    )
+pub fn fig20_delay_responsiveness(runner: &SweepRunner, scale: Scale) -> Figure {
+    run_single_sim(runner, "fig20", || {
+        join_leave_star(
+            "fig20",
+            "Responsiveness to network delay",
+            &[0.002, 0.002, 0.002, 0.002],
+            &[0.03, 0.06, 0.12, 0.24],
+            scale,
+        )
+    })
 }
 
 /// Figure 13: delay until a receiver whose RTT increased is selected as CLR,
 /// as a function of when the change happens.
-pub fn fig13_rtt_responsiveness(scale: Scale) -> Figure {
+pub fn fig13_rtt_responsiveness(runner: &SweepRunner, scale: Scale) -> Figure {
     let receiver_counts: Vec<usize> = scale.pick(vec![10, 40], vec![40, 200, 1000]);
     let change_times: Vec<f64> = scale.pick(vec![10.0, 40.0], vec![10.0, 20.0, 40.0, 80.0, 160.0]);
     let mut fig = Figure::new(
@@ -137,12 +148,26 @@ pub fn fig13_rtt_responsiveness(scale: Scale) -> Figure {
         "time of change (s)",
         "delay until reaction (s)",
     );
-    for &n in &receiver_counts {
-        let mut points = Vec::new();
-        for &change_at in &change_times {
-            let reaction = rtt_change_reaction_delay(n, change_at, scale);
-            points.push((change_at, reaction));
-        }
+    // Every (receiver count, change time) pair is an independent simulation:
+    // the natural sweep of this figure.
+    let points: Vec<(usize, f64)> = receiver_counts
+        .iter()
+        .flat_map(|&n| change_times.iter().map(move |&t| (n, t)))
+        .collect();
+    let sweep = Sweep::new("fig13", 913, points);
+    let reactions = runner.run(&sweep, |pt| {
+        let (n, change_at) = *pt.value;
+        rtt_change_reaction_delay(n, change_at, scale, pt.seed)
+    });
+    for (&n, chunk) in receiver_counts
+        .iter()
+        .zip(reactions.chunks(change_times.len()))
+    {
+        let points: Vec<(f64, f64)> = change_times
+            .iter()
+            .zip(chunk)
+            .map(|(&t, &reaction)| (t, reaction))
+            .collect();
         fig.push_series(Series::new(format!("{n} receivers"), points));
     }
     fig.note(
@@ -156,9 +181,9 @@ pub fn fig13_rtt_responsiveness(scale: Scale) -> Figure {
 /// `change_at` one receiver's path delay quadruples; returns the time until
 /// that receiver becomes the CLR (or the remaining duration if it never
 /// does).
-fn rtt_change_reaction_delay(n: usize, change_at: f64, scale: Scale) -> f64 {
+fn rtt_change_reaction_delay(n: usize, change_at: f64, scale: Scale, seed: u64) -> f64 {
     let duration = change_at + scale.pick(60.0, 150.0);
-    let mut sim = Simulator::new(9_130 + n as u64);
+    let mut sim = Simulator::new(seed);
     let legs: Vec<StarLeg> = (0..n)
         .map(|_| {
             StarLeg::clean(1_250_000.0, 0.03)
@@ -194,93 +219,95 @@ fn rtt_change_reaction_delay(n: usize, change_at: f64, scale: Scale) -> f64 {
 
 /// Figure 21: responsiveness to an increasing number of competing TCP flows
 /// (the flow count doubles every 50 seconds).
-pub fn fig21_flow_doubling(scale: Scale) -> Figure {
-    let interval = scale.pick(40.0, 50.0);
-    let waves: &[usize] = &[1, 2, 4, 8];
-    let duration = interval * (waves.len() as f64 + 1.0);
-    let mut sim = Simulator::new(921);
-    let cfg = DumbbellConfig {
-        pairs: 1 + waves.iter().sum::<usize>(),
-        bottleneck_bandwidth: 2_000_000.0, // 16 Mbit/s
-        bottleneck_delay: 0.03,
-        bottleneck_queue: QueueDiscipline::drop_tail(100),
-        ..DumbbellConfig::default()
-    };
-    let d = netsim::topology::dumbbell(&mut sim, &cfg);
-    let session = TfmccSessionBuilder::default().build(
-        &mut sim,
-        d.senders[0],
-        &[ReceiverSpec::always(d.receivers[0])],
-    );
-    let mut tcp_sinks: Vec<(usize, netsim::packet::AgentId)> = Vec::new();
-    let mut pair = 1;
-    for (wave, &count) in waves.iter().enumerate() {
-        let start = interval * (wave as f64 + 1.0);
-        for _ in 0..count {
-            let sink = sim.add_agent(d.receivers[pair], Port(1), Box::new(TcpSink::new(2.0)));
-            sim.add_agent(
-                d.senders[pair],
-                Port(1),
-                Box::new(TcpSender::new(
-                    TcpSenderConfig::new(
-                        Address::new(d.receivers[pair], Port(1)),
-                        FlowId(6000 + pair as u64),
-                    )
-                    .starting_at(start),
-                )),
-            );
-            tcp_sinks.push((wave, sink));
-            pair += 1;
-        }
-    }
-    sim.run_until(SimTime::from_secs(duration));
-
-    let mut fig = Figure::new(
-        "fig21",
-        "Responsiveness to increased congestion (TCP flow count doubles every interval)",
-        "time (s)",
-        "throughput (kbit/s)",
-    );
-    let tfmcc_meter = session.receiver_agent(&sim, 0).meter();
-    fig.push_series(Series::new("TFMCC", meter_series(tfmcc_meter)));
-    // Aggregate TCP throughput per start wave, as in the paper.
-    for wave in 0..waves.len() {
-        let mut agg: Vec<(f64, f64)> = Vec::new();
-        for &(w, sink) in &tcp_sinks {
-            if w != wave {
-                continue;
+pub fn fig21_flow_doubling(runner: &SweepRunner, scale: Scale) -> Figure {
+    run_single_sim(runner, "fig21", || {
+        let interval = scale.pick(40.0, 50.0);
+        let waves: &[usize] = &[1, 2, 4, 8];
+        let duration = interval * (waves.len() as f64 + 1.0);
+        let mut sim = Simulator::new(921);
+        let cfg = DumbbellConfig {
+            pairs: 1 + waves.iter().sum::<usize>(),
+            bottleneck_bandwidth: 2_000_000.0, // 16 Mbit/s
+            bottleneck_delay: 0.03,
+            bottleneck_queue: QueueDiscipline::drop_tail(100),
+            ..DumbbellConfig::default()
+        };
+        let d = netsim::topology::dumbbell(&mut sim, &cfg);
+        let session = TfmccSessionBuilder::default().build(
+            &mut sim,
+            d.senders[0],
+            &[ReceiverSpec::always(d.receivers[0])],
+        );
+        let mut tcp_sinks: Vec<(usize, netsim::packet::AgentId)> = Vec::new();
+        let mut pair = 1;
+        for (wave, &count) in waves.iter().enumerate() {
+            let start = interval * (wave as f64 + 1.0);
+            for _ in 0..count {
+                let sink = sim.add_agent(d.receivers[pair], Port(1), Box::new(TcpSink::new(2.0)));
+                sim.add_agent(
+                    d.senders[pair],
+                    Port(1),
+                    Box::new(TcpSender::new(
+                        TcpSenderConfig::new(
+                            Address::new(d.receivers[pair], Port(1)),
+                            FlowId(6000 + pair as u64),
+                        )
+                        .starting_at(start),
+                    )),
+                );
+                tcp_sinks.push((wave, sink));
+                pair += 1;
             }
-            let series = meter_series(sim.agent::<TcpSink>(sink).unwrap().meter());
-            for (i, &(t, y)) in series.iter().enumerate() {
-                if let Some(slot) = agg.get_mut(i) {
-                    slot.1 += y;
-                } else {
-                    agg.push((t, y));
+        }
+        sim.run_until(SimTime::from_secs(duration));
+
+        let mut fig = Figure::new(
+            "fig21",
+            "Responsiveness to increased congestion (TCP flow count doubles every interval)",
+            "time (s)",
+            "throughput (kbit/s)",
+        );
+        let tfmcc_meter = session.receiver_agent(&sim, 0).meter();
+        fig.push_series(Series::new("TFMCC", meter_series(tfmcc_meter)));
+        // Aggregate TCP throughput per start wave, as in the paper.
+        for wave in 0..waves.len() {
+            let mut agg: Vec<(f64, f64)> = Vec::new();
+            for &(w, sink) in &tcp_sinks {
+                if w != wave {
+                    continue;
+                }
+                let series = meter_series(sim.agent::<TcpSink>(sink).unwrap().meter());
+                for (i, &(t, y)) in series.iter().enumerate() {
+                    if let Some(slot) = agg.get_mut(i) {
+                        slot.1 += y;
+                    } else {
+                        agg.push((t, y));
+                    }
                 }
             }
+            fig.push_series(Series::new(format!("TCP wave {}", wave + 1), agg));
         }
-        fig.push_series(Series::new(format!("TCP wave {}", wave + 1), agg));
-    }
-    // Shape: the TFMCC rate should decrease from interval to interval as the
-    // number of flows doubles.
-    let mut last = f64::INFINITY;
-    let mut monotone = true;
-    let mut rates = Vec::new();
-    for wave in 0..=waves.len() {
-        let from = interval * wave as f64 + interval * 0.4;
-        let to = interval * (wave as f64 + 1.0) - 2.0;
-        let r = tfmcc_meter.average_between(from, to) * 8.0 / 1000.0;
-        if r > last * 1.15 {
-            monotone = false;
+        // Shape: the TFMCC rate should decrease from interval to interval as
+        // the number of flows doubles.
+        let mut last = f64::INFINITY;
+        let mut monotone = true;
+        let mut rates = Vec::new();
+        for wave in 0..=waves.len() {
+            let from = interval * wave as f64 + interval * 0.4;
+            let to = interval * (wave as f64 + 1.0) - 2.0;
+            let r = tfmcc_meter.average_between(from, to) * 8.0 / 1000.0;
+            if r > last * 1.15 {
+                monotone = false;
+            }
+            last = r;
+            rates.push(format!("{r:.0}"));
         }
-        last = r;
-        rates.push(format!("{r:.0}"));
-    }
-    fig.note(format!(
-        "TFMCC per-interval average (kbit/s): {} — should roughly halve per interval (monotone: {monotone})",
-        rates.join(", ")
-    ));
-    fig
+        fig.note(format!(
+            "TFMCC per-interval average (kbit/s): {} — should roughly halve per interval (monotone: {monotone})",
+            rates.join(", ")
+        ));
+        fig
+    })
 }
 
 #[cfg(test)]
@@ -289,7 +316,7 @@ mod tests {
 
     #[test]
     fn fig11_rate_tracks_the_worst_subscribed_receiver() {
-        let fig = fig11_loss_responsiveness(Scale::Quick);
+        let fig = fig11_loss_responsiveness(&SweepRunner::serial(), Scale::Quick);
         // Parse the shape from the summary produced above: before > during.
         let tfmcc = fig.series("TFMCC").unwrap();
         assert!(!tfmcc.points.is_empty());
@@ -298,8 +325,19 @@ mod tests {
     }
 
     #[test]
+    fn fig13_grid_is_thread_count_invariant() {
+        let serial = fig13_rtt_responsiveness(&SweepRunner::new(1), Scale::Quick);
+        let parallel = fig13_rtt_responsiveness(&SweepRunner::new(4), Scale::Quick);
+        assert_eq!(serial.to_json().render(), parallel.to_json().render());
+        assert_eq!(serial.series.len(), 2);
+        for s in &serial.series {
+            assert_eq!(s.points.len(), 2);
+        }
+    }
+
+    #[test]
     fn fig21_tfmcc_rate_decreases_with_more_flows() {
-        let fig = fig21_flow_doubling(Scale::Quick);
+        let fig = fig21_flow_doubling(&SweepRunner::serial(), Scale::Quick);
         let tfmcc = fig.series("TFMCC").unwrap();
         let early: Vec<f64> = tfmcc
             .points

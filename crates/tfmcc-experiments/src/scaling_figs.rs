@@ -1,11 +1,18 @@
 //! Figure 7 (loss path multiplicity / receiver-set scaling) and Figure 17
 //! (loss events per RTT).
+//!
+//! Figure 7 is the paper's headline scaling sweep (receiver sets up to 10⁴).
+//! Each Monte-Carlo estimate is sharded into seed replicas so the executor
+//! can spread even a single receiver-count's trials over many workers; every
+//! replica derives its seed from the sweep, so the averaged results are
+//! byte-identical for any thread count.
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use tfmcc_model::order_stats::scaling_throughput;
 use tfmcc_model::throughput::{bytes_to_bits, loss_events_per_rtt, padhye_throughput};
+use tfmcc_runner::{ParamGrid, Sweep, SweepRunner};
 
 use crate::output::{Figure, Series};
 use crate::scale::Scale;
@@ -33,13 +40,12 @@ fn sample_avg_interval(p: f64, rng: &mut SmallRng) -> f64 {
 /// Monte-Carlo estimate of the expected TFMCC throughput when the sender
 /// tracks the minimum calculated rate over `n` receivers with the given
 /// per-receiver loss rates.
-fn tracked_minimum_throughput(loss_rates: &[f64], trials: usize, seed: u64) -> f64 {
-    let mut rng = SmallRng::seed_from_u64(seed);
+fn tracked_minimum_throughput(loss_rates: &[f64], trials: usize, rng: &mut SmallRng) -> f64 {
     let mut acc = 0.0;
     for _ in 0..trials {
         let mut min_rate = f64::INFINITY;
         for &p in loss_rates {
-            let interval = sample_avg_interval(p, &mut rng);
+            let interval = sample_avg_interval(p, rng);
             let rate = padhye_throughput(PACKET, RTT, (1.0 / interval).min(1.0));
             min_rate = min_rate.min(rate);
         }
@@ -67,56 +73,74 @@ fn stratified_loss_rates(n: usize, rng: &mut SmallRng) -> Vec<f64> {
         .collect()
 }
 
+/// Averages replica estimates back into one point per receiver count,
+/// in fixed (point) order so the reduction is deterministic.
+fn mean_per_count(ns: &[usize], replicas: usize, estimates: &[f64]) -> Vec<(f64, f64)> {
+    ns.iter()
+        .zip(estimates.chunks(replicas))
+        .map(|(&n, chunk)| {
+            let mean = chunk.iter().sum::<f64>() / chunk.len() as f64;
+            (n as f64, bytes_to_bits(mean) / 1000.0)
+        })
+        .collect()
+}
+
 /// Figure 7: throughput versus receiver-set size for constant (identical,
 /// independent) loss and for the stratified loss distribution.
-pub fn fig07_scaling(scale: Scale) -> Figure {
+pub fn fig07_scaling(runner: &SweepRunner, scale: Scale) -> Figure {
     let ns: Vec<usize> = scale.pick(
         vec![1, 10, 100, 1000],
         vec![1, 3, 10, 30, 100, 300, 1000, 3000, 10_000],
     );
-    let trials = scale.pick(20, 200);
+    // Shard the Monte-Carlo trials of each receiver count into seed
+    // replicas: the estimate is the mean over replicas, and each replica is
+    // one sweep point, so even the largest n parallelises.
+    let replicas = scale.pick(4, 8);
+    let trials_per_replica = scale.pick(20, 200) / replicas;
     let mut fig = Figure::new(
         "fig07",
         "Scaling of throughput with the receiver-set size",
         "number of receivers",
         "throughput (kbit/s)",
     );
-    let mut rng = SmallRng::seed_from_u64(7);
 
-    let constant: Vec<(f64, f64)> = ns
-        .iter()
-        .map(|&n| {
-            let rates = vec![LOSS_RATE; n];
-            let kbit = bytes_to_bits(tracked_minimum_throughput(&rates, trials, n as u64)) / 1000.0;
-            (n as f64, kbit)
-        })
-        .collect();
-    fig.push_series(Series::new("constant", constant));
+    let constant_sweep = ParamGrid::new()
+        .receivers(ns.clone())
+        .loss_rates(vec![LOSS_RATE])
+        .replicas(replicas)
+        .build("fig07/constant", 7);
+    let constant = runner.run(&constant_sweep, |pt| {
+        let mut rng = SmallRng::seed_from_u64(pt.seed);
+        let rates = vec![pt.value.loss_rate; pt.value.receivers];
+        tracked_minimum_throughput(&rates, trials_per_replica, &mut rng)
+    });
+    fig.push_series(Series::new(
+        "constant",
+        mean_per_count(&ns, replicas, &constant),
+    ));
 
-    let distributed: Vec<(f64, f64)> = ns
-        .iter()
-        .map(|&n| {
-            let rates = stratified_loss_rates(n, &mut rng);
-            let kbit =
-                bytes_to_bits(tracked_minimum_throughput(&rates, trials, 1000 + n as u64)) / 1000.0;
-            (n as f64, kbit)
-        })
-        .collect();
-    fig.push_series(Series::new("distrib.", distributed));
+    let distrib_sweep = ParamGrid::new()
+        .receivers(ns.clone())
+        .replicas(replicas)
+        .build("fig07/distrib", 1007);
+    let distributed = runner.run(&distrib_sweep, |pt| {
+        let mut rng = SmallRng::seed_from_u64(pt.seed);
+        let rates = stratified_loss_rates(pt.value.receivers, &mut rng);
+        tracked_minimum_throughput(&rates, trials_per_replica, &mut rng)
+    });
+    fig.push_series(Series::new(
+        "distrib.",
+        mean_per_count(&ns, replicas, &distributed),
+    ));
 
     // Analytic (order statistics) reference for the constant case.
+    let analytic_sweep = Sweep::new("fig07/analytic", 0, ns.clone());
     let analytic: Vec<(f64, f64)> = ns
         .iter()
-        .map(|&n| {
-            let kbit = bytes_to_bits(scaling_throughput(
-                n as u64,
-                HISTORY as u32,
-                LOSS_RATE,
-                RTT,
-                PACKET,
-            )) / 1000.0;
-            (n as f64, kbit)
-        })
+        .zip(runner.run(&analytic_sweep, |pt| {
+            scaling_throughput(*pt.value as u64, HISTORY as u32, LOSS_RATE, RTT, PACKET)
+        }))
+        .map(|(&n, bytes)| (n as f64, bytes_to_bits(bytes) / 1000.0))
         .collect();
     fig.push_series(Series::new("constant (analytic, sqrt model)", analytic));
 
@@ -132,19 +156,25 @@ pub fn fig07_scaling(scale: Scale) -> Figure {
 }
 
 /// Figure 17: loss events per RTT as a function of the loss event rate.
-pub fn fig17_loss_events_per_rtt(_scale: Scale) -> Figure {
+pub fn fig17_loss_events_per_rtt(runner: &SweepRunner, _scale: Scale) -> Figure {
     let mut fig = Figure::new(
         "fig17",
         "Loss events per RTT",
         "loss event rate",
         "loss events / RTT",
     );
-    let mut points = Vec::new();
+    let mut ps = Vec::new();
     let mut p = 1e-4;
     while p <= 1.0 {
-        points.push((p, loss_events_per_rtt(p)));
+        ps.push(p);
         p *= 1.15;
     }
+    let sweep = Sweep::new("fig17", 17, ps.clone());
+    let points: Vec<(f64, f64)> = ps
+        .iter()
+        .zip(runner.run(&sweep, |pt| loss_events_per_rtt(*pt.value)))
+        .map(|(&p, y)| (p, y))
+        .collect();
     let peak = points.iter().map(|&(_, y)| y).fold(0.0, f64::max);
     fig.push_series(Series::new("loss events per RTT", points));
     fig.note(format!(
@@ -159,7 +189,7 @@ mod tests {
 
     #[test]
     fn fig07_constant_loss_degrades_and_stratified_degrades_less() {
-        let fig = fig07_scaling(Scale::Quick);
+        let fig = fig07_scaling(&SweepRunner::new(2), Scale::Quick);
         let constant = fig.series("constant").unwrap();
         let distrib = fig.series("distrib.").unwrap();
         let c_first = constant.points[0].1;
@@ -182,8 +212,15 @@ mod tests {
     }
 
     #[test]
+    fn fig07_is_thread_count_invariant() {
+        let serial = fig07_scaling(&SweepRunner::new(1), Scale::Quick);
+        let parallel = fig07_scaling(&SweepRunner::new(8), Scale::Quick);
+        assert_eq!(serial.to_json().render(), parallel.to_json().render());
+    }
+
+    #[test]
     fn fig17_peak_matches_paper() {
-        let fig = fig17_loss_events_per_rtt(Scale::Quick);
+        let fig = fig17_loss_events_per_rtt(&SweepRunner::serial(), Scale::Quick);
         let peak = fig.series[0]
             .points
             .iter()

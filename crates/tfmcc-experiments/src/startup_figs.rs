@@ -1,69 +1,78 @@
 //! Figures 12, 14, 15 and 16: initial RTT measurements, slowstart behaviour
 //! and the late join of a low-rate receiver.
+//!
+//! Figure 14 is a (traffic mix × receiver count) grid of independent
+//! slowstart trials and shards across the sweep executor; the other three
+//! are single simulations run as one-point sweeps with their historical
+//! seeds.
 
 use netsim::prelude::*;
 use tfmcc_agents::session::{ReceiverSpec, TfmccSessionBuilder};
+use tfmcc_runner::{Sweep, SweepRunner};
 use tfmcc_tcp::{TcpSender, TcpSenderConfig, TcpSink};
 
 use crate::fairness_figs::meter_series;
 use crate::output::{Figure, Series};
 use crate::scale::Scale;
+use crate::sweeps::run_single_sim;
 
 /// Figure 12: number of receivers with a valid RTT estimate over time, for a
 /// large receiver set behind one bottleneck (correlated loss, worst case).
-pub fn fig12_rtt_measurements(scale: Scale) -> Figure {
-    let n = scale.pick(40, 400);
-    let duration = scale.pick(80.0, 200.0);
-    let mut sim = Simulator::new(912);
-    // One shared 8 Mbit/s bottleneck into a hub, then clean per-receiver legs
-    // with RTTs between 60 and 140 ms.
-    let src = sim.add_node("src");
-    let hub = sim.add_node("hub");
-    sim.add_duplex_link(src, hub, 1_000_000.0, 0.02, QueueDiscipline::drop_tail(125));
-    let mut receivers = Vec::new();
-    for i in 0..n {
-        let r = sim.add_node(&format!("r{i}"));
-        let delay = 0.01 + 0.04 * (i as f64 / n as f64);
-        sim.add_duplex_link(hub, r, 12_500_000.0, delay, QueueDiscipline::drop_tail(200));
-        receivers.push(r);
-    }
-    let specs: Vec<ReceiverSpec> = receivers.iter().map(|&r| ReceiverSpec::always(r)).collect();
-    let session = TfmccSessionBuilder::default().build(&mut sim, src, &specs);
+pub fn fig12_rtt_measurements(runner: &SweepRunner, scale: Scale) -> Figure {
+    run_single_sim(runner, "fig12", || {
+        let n = scale.pick(40, 400);
+        let duration = scale.pick(80.0, 200.0);
+        let mut sim = Simulator::new(912);
+        // One shared 8 Mbit/s bottleneck into a hub, then clean per-receiver
+        // legs with RTTs between 60 and 140 ms.
+        let src = sim.add_node("src");
+        let hub = sim.add_node("hub");
+        sim.add_duplex_link(src, hub, 1_000_000.0, 0.02, QueueDiscipline::drop_tail(125));
+        let mut receivers = Vec::new();
+        for i in 0..n {
+            let r = sim.add_node(&format!("r{i}"));
+            let delay = 0.01 + 0.04 * (i as f64 / n as f64);
+            sim.add_duplex_link(hub, r, 12_500_000.0, delay, QueueDiscipline::drop_tail(200));
+            receivers.push(r);
+        }
+        let specs: Vec<ReceiverSpec> = receivers.iter().map(|&r| ReceiverSpec::always(r)).collect();
+        let session = TfmccSessionBuilder::default().build(&mut sim, src, &specs);
 
-    let mut points = Vec::new();
-    let step = duration / 40.0;
-    let mut t = 0.0;
-    while t <= duration {
-        sim.run_until(SimTime::from_secs(t));
-        let with_rtt = (0..n)
-            .filter(|&i| {
-                session
-                    .receiver_agent(&sim, i)
-                    .protocol()
-                    .has_rtt_measurement()
-            })
-            .count();
-        points.push((t, with_rtt as f64));
-        t += step;
-    }
-    let mut fig = Figure::new(
-        "fig12",
-        "Rate of initial RTT measurements",
-        "time (s)",
-        "receivers with valid RTT",
-    );
-    let final_count = points.last().map(|&(_, y)| y).unwrap_or(0.0);
-    fig.push_series(Series::new("receivers with valid RTT", points));
-    fig.note(format!(
-        "{final_count:.0} of {n} receivers obtained an RTT measurement after {duration:.0} s; the count grows by roughly the number of feedback messages per round (paper Figure 12)"
-    ));
-    fig
+        let mut points = Vec::new();
+        let step = duration / 40.0;
+        let mut t = 0.0;
+        while t <= duration {
+            sim.run_until(SimTime::from_secs(t));
+            let with_rtt = (0..n)
+                .filter(|&i| {
+                    session
+                        .receiver_agent(&sim, i)
+                        .protocol()
+                        .has_rtt_measurement()
+                })
+                .count();
+            points.push((t, with_rtt as f64));
+            t += step;
+        }
+        let mut fig = Figure::new(
+            "fig12",
+            "Rate of initial RTT measurements",
+            "time (s)",
+            "receivers with valid RTT",
+        );
+        let final_count = points.last().map(|&(_, y)| y).unwrap_or(0.0);
+        fig.push_series(Series::new("receivers with valid RTT", points));
+        fig.note(format!(
+            "{final_count:.0} of {n} receivers obtained an RTT measurement after {duration:.0} s; the count grows by roughly the number of feedback messages per round (paper Figure 12)"
+        ));
+        fig
+    })
 }
 
 /// Figure 14: maximum rate reached during slowstart versus the receiver-set
 /// size, for an empty link, one competing TCP flow and high statistical
 /// multiplexing.
-pub fn fig14_slowstart(scale: Scale) -> Figure {
+pub fn fig14_slowstart(runner: &SweepRunner, scale: Scale) -> Figure {
     let counts: Vec<usize> = scale.pick(vec![2, 8, 32], vec![2, 8, 32, 128, 512]);
     let mut fig = Figure::new(
         "fig14",
@@ -71,16 +80,31 @@ pub fn fig14_slowstart(scale: Scale) -> Figure {
         "number of receivers",
         "max slowstart rate (kbit/s)",
     );
-    for (name, tcp_flows) in [
+    let mixes = [
         ("only TFMCC", 0usize),
         ("one competing TCP", 1),
         ("high stat. mux.", 4),
-    ] {
+    ];
+    // Each (traffic mix, receiver count) pair is one independent slowstart
+    // trial.  Trials keep the historical seed formula (a deterministic
+    // function of the point's parameters), so results match the
+    // single-threaded harness exactly.
+    let points: Vec<(usize, usize)> = mixes
+        .iter()
+        .flat_map(|&(_, tcp_flows)| counts.iter().map(move |&n| (tcp_flows, n)))
+        .collect();
+    let sweep = Sweep::new("fig14", 914, points);
+    let peaks = runner.run(&sweep, |pt| {
+        let (tcp_flows, n) = *pt.value;
+        max_slowstart_rate(n, tcp_flows, scale)
+    });
+    for (m, chunk) in mixes.iter().zip(peaks.chunks(counts.len())) {
         let points: Vec<(f64, f64)> = counts
             .iter()
-            .map(|&n| (n as f64, max_slowstart_rate(n, tcp_flows, scale)))
+            .zip(chunk)
+            .map(|(&n, &peak)| (n as f64, peak))
             .collect();
-        fig.push_series(Series::new(name, points));
+        fig.push_series(Series::new(m.0, points));
     }
     fig.note(
         "fair rate is 1 Mbit/s; alone TFMCC overshoots to about twice the bottleneck, while competition and larger receiver sets lower the slowstart peak (paper Figure 14)"
@@ -227,19 +251,23 @@ fn late_join(id: &str, title: &str, tcp_on_slow_link: bool, scale: Scale) -> Fig
 }
 
 /// Figure 15: late join of a low-rate receiver.
-pub fn fig15_late_join(scale: Scale) -> Figure {
-    late_join("fig15", "Late join of a low-rate receiver", false, scale)
+pub fn fig15_late_join(runner: &SweepRunner, scale: Scale) -> Figure {
+    run_single_sim(runner, "fig15", || {
+        late_join("fig15", "Late join of a low-rate receiver", false, scale)
+    })
 }
 
 /// Figure 16: late join of a low-rate receiver with an additional TCP flow on
 /// the slow link.
-pub fn fig16_late_join_tcp(scale: Scale) -> Figure {
-    late_join(
-        "fig16",
-        "Late join of a low-rate receiver with an additional TCP flow on the slow link",
-        true,
-        scale,
-    )
+pub fn fig16_late_join_tcp(runner: &SweepRunner, scale: Scale) -> Figure {
+    run_single_sim(runner, "fig16", || {
+        late_join(
+            "fig16",
+            "Late join of a low-rate receiver with an additional TCP flow on the slow link",
+            true,
+            scale,
+        )
+    })
 }
 
 #[cfg(test)]
@@ -248,7 +276,7 @@ mod tests {
 
     #[test]
     fn fig12_rtt_measurement_count_is_monotone_and_positive() {
-        let fig = fig12_rtt_measurements(Scale::Quick);
+        let fig = fig12_rtt_measurements(&SweepRunner::serial(), Scale::Quick);
         let series = &fig.series[0];
         let mut last = -1.0;
         for &(_, y) in &series.points {
@@ -263,7 +291,7 @@ mod tests {
 
     #[test]
     fn fig15_slow_receiver_pulls_rate_down_then_recovers() {
-        let fig = fig15_late_join(Scale::Quick);
+        let fig = fig15_late_join(&SweepRunner::serial(), Scale::Quick);
         let summary = fig.summary.join(" ");
         let tfmcc = fig.series("TFMCC flow").unwrap();
         let before: Vec<f64> = tfmcc
@@ -301,7 +329,7 @@ mod tests {
 
     #[test]
     fn fig14_slowstart_peak_is_bounded_by_twice_bottleneck_when_alone() {
-        let fig = fig14_slowstart(Scale::Quick);
+        let fig = fig14_slowstart(&SweepRunner::new(2), Scale::Quick);
         let alone = fig.series("only TFMCC").unwrap();
         for &(n, peak) in &alone.points {
             assert!(

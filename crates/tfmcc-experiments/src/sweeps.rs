@@ -1,0 +1,36 @@
+//! Glue between the generic sweep runner and `Figure`-producing experiments.
+
+use tfmcc_runner::{Sweep, SweepRunner};
+
+use crate::output::Figure;
+
+/// Runs a single self-contained simulation scenario as a one-point sweep.
+///
+/// Several figures (9–12, 15, 16, 18–21) are one big simulation rather than
+/// a parameter grid; routing them through the executor keeps their timing in
+/// the run report and exercises the same `Send` machinery as real sweeps.
+/// The scenario keeps its historical fixed seed (the closure ignores the
+/// derived point seed), so published shape results are unchanged.
+pub fn run_single_sim<F>(runner: &SweepRunner, name: &str, scenario: F) -> Figure
+where
+    F: Fn() -> Figure + Sync,
+{
+    let sweep = Sweep::new(name, 0, vec![()]);
+    runner
+        .run(&sweep, |_pt| scenario())
+        .pop()
+        .expect("one-point sweep yields one figure")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_sim_round_trips_the_figure() {
+        let runner = SweepRunner::new(4);
+        let fig = run_single_sim(&runner, "unit", || Figure::new("figX", "t", "x", "y"));
+        assert_eq!(fig.id, "figX");
+        assert_eq!(runner.report().records.len(), 1);
+    }
+}

@@ -75,7 +75,8 @@ impl AckerTracker {
         );
         let current = self.acker.and_then(|id| self.receivers.get(&id).copied());
         let candidate = self.receivers[&receiver];
-        let changed = match current {
+
+        match current {
             None => {
                 self.acker = Some(receiver);
                 true
@@ -90,8 +91,7 @@ impl AckerTracker {
                     false
                 }
             }
-        };
-        changed
+        }
     }
 
     /// Drops receivers not heard from since `deadline` and re-elects if the

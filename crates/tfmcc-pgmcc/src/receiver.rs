@@ -126,7 +126,7 @@ impl Agent for PgmccReceiverAgent {
             for _ in 0..lost.min(64) {
                 self.loss_rate = (1.0 - weight) * self.loss_rate + weight;
             }
-            self.loss_rate = (1.0 - weight) * self.loss_rate;
+            self.loss_rate *= 1.0 - weight;
             self.expected = seq + 1;
         }
         if self.is_acker {

@@ -202,17 +202,25 @@ mod tests {
 
     #[test]
     fn invalid_configs_are_rejected() {
-        let mut c = TfmccConfig::default();
-        c.loss_history_len = 1;
+        let c = TfmccConfig {
+            loss_history_len: 1,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = TfmccConfig::default();
-        c.bias_saturation_ratio = 0.95;
+        let c = TfmccConfig {
+            bias_saturation_ratio: 0.95,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = TfmccConfig::default();
-        c.feedback_cancel_alpha = 1.5;
+        let c = TfmccConfig {
+            feedback_cancel_alpha: 1.5,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = TfmccConfig::default();
-        c.receiver_set_estimate = 1.0;
+        let c = TfmccConfig {
+            receiver_set_estimate: 1.0,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
     }
 }

@@ -146,6 +146,6 @@ mod tests {
             leaving: false,
         };
         assert!(f.calculated_rate.is_infinite());
-        assert!(FeedbackPacket::WIRE_SIZE < 200);
+        const { assert!(FeedbackPacket::WIRE_SIZE < 200) };
     }
 }

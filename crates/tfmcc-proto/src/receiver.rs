@@ -642,9 +642,8 @@ mod tests {
         // The old deadline is gone; if firing at the old time produces
         // feedback it must belong to the new round (a fresh timer), never to
         // the stale one.
-        match r.on_timer(t1) {
-            Some(fb) => assert_eq!(fb.feedback_round, 2),
-            None => {}
+        if let Some(fb) = r.on_timer(t1) {
+            assert_eq!(fb.feedback_round, 2)
         }
     }
 

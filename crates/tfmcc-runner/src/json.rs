@@ -1,0 +1,149 @@
+//! A tiny deterministic JSON document model.
+//!
+//! Result files must be byte-identical across runs and thread counts, so
+//! rendering is fully specified: object keys keep insertion order, numbers
+//! use Rust's shortest round-trip `Display` (deterministic for any `f64`),
+//! non-finite numbers render as `null`, and there is no whitespace except a
+//! single trailing newline added by callers that write files.
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number; non-finite values render as `null`.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; keys render in insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Convenience constructor for strings.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Convenience constructor for numbers.
+    pub fn num(v: f64) -> Json {
+        Json::Num(v)
+    }
+
+    /// Renders the value as compact JSON.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(v) => {
+                if v.is_finite() {
+                    // Rust's Display for f64 is the shortest representation
+                    // that round-trips — deterministic and valid JSON (it
+                    // may use exponent notation, which JSON permits).
+                    let _ = write!(out, "{v}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(key, out);
+                    out.push(':');
+                    value.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_compact_documents() {
+        let doc = Json::Obj(vec![
+            ("id".into(), Json::str("fig07")),
+            ("n".into(), Json::num(3.0)),
+            ("half".into(), Json::num(0.5)),
+            (
+                "points".into(),
+                Json::Arr(vec![
+                    Json::Arr(vec![Json::num(1.0), Json::num(2.5)]),
+                    Json::Null,
+                    Json::Bool(true),
+                ]),
+            ),
+        ]);
+        assert_eq!(
+            doc.render(),
+            r#"{"id":"fig07","n":3,"half":0.5,"points":[[1,2.5],null,true]}"#
+        );
+    }
+
+    #[test]
+    fn escapes_strings() {
+        assert_eq!(
+            Json::str("a\"b\\c\nd\u{1}").render(),
+            "\"a\\\"b\\\\c\\nd\\u0001\""
+        );
+    }
+
+    #[test]
+    fn non_finite_numbers_become_null() {
+        assert_eq!(Json::num(f64::NAN).render(), "null");
+        assert_eq!(Json::num(f64::INFINITY).render(), "null");
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let doc = Json::Arr((0..64).map(|i| Json::num(i as f64 * 0.1)).collect());
+        assert_eq!(doc.render(), doc.render());
+    }
+}

@@ -1,0 +1,52 @@
+//! Deterministic per-point seed derivation.
+//!
+//! Every sweep point gets its own RNG seed derived from the sweep's base
+//! seed and the point's index.  The derivation is a pure function, so a
+//! sweep produces identical results for any thread count and any execution
+//! order, and two points of the same sweep never share a seed stream.
+
+/// Derives the seed for point `index` of a sweep with the given `base` seed.
+///
+/// Uses the splitmix64 finalizer over `base + (index + 1) · φ64` (the 64-bit
+/// golden-ratio constant).  splitmix64 is a bijection of the mixed input, so
+/// distinct indices of the same sweep always map to distinct seeds.
+pub fn derive_seed(base: u64, index: u64) -> u64 {
+    let mut z = base.wrapping_add(index.wrapping_add(1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn seeds_are_distinct_within_a_sweep() {
+        let mut seen = HashSet::new();
+        for index in 0..10_000u64 {
+            assert!(
+                seen.insert(derive_seed(7, index)),
+                "seed collision at index {index}"
+            );
+        }
+    }
+
+    #[test]
+    fn seeds_are_stable_across_releases() {
+        // Snapshot values: these must never change, or published experiment
+        // results stop being reproducible.
+        assert_eq!(derive_seed(0, 0), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(derive_seed(7, 0), 0x63CB_E1E4_5932_0DD7);
+        assert_eq!(derive_seed(7, 1), 0x044C_3CD7_F43C_661C);
+        assert_eq!(derive_seed(909, 42), 0x6FCD_E433_A9AA_1B3A);
+    }
+
+    #[test]
+    fn different_bases_give_different_streams() {
+        for index in 0..100u64 {
+            assert_ne!(derive_seed(1, index), derive_seed(2, index));
+        }
+    }
+}

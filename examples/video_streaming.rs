@@ -35,13 +35,13 @@ fn main() {
 
     // Two TCP downloads share the backbone for the whole session.
     let mut tcp_sinks = Vec::new();
-    for i in 0..2 {
-        let sink = sim.add_agent(viewers[i], Port(1), Box::new(TcpSink::new(5.0)));
+    for (i, &viewer) in viewers.iter().enumerate().take(2) {
+        let sink = sim.add_agent(viewer, Port(1), Box::new(TcpSink::new(5.0)));
         sim.add_agent(
             src,
             Port(100 + i as u16),
             Box::new(TcpSender::new(TcpSenderConfig::new(
-                Address::new(viewers[i], Port(1)),
+                Address::new(viewer, Port(1)),
                 FlowId(900 + i as u64),
             ))),
         );

@@ -14,7 +14,8 @@
 //! * [`tfrc`] — the unicast TFRC baseline;
 //! * [`pgmcc`] — the PGMCC baseline;
 //! * [`transport`] — the real-network UDP transport;
-//! * [`experiments`] — the figure-by-figure experiment harness.
+//! * [`experiments`] — the figure-by-figure experiment harness;
+//! * [`runner`] — the parallel sweep runner the harness executes on.
 //!
 //! See `examples/` for runnable end-to-end scenarios and `DESIGN.md` /
 //! `EXPERIMENTS.md` for the reproduction notes.
@@ -29,6 +30,7 @@ pub use tfmcc_feedback as feedback;
 pub use tfmcc_model as model;
 pub use tfmcc_pgmcc as pgmcc;
 pub use tfmcc_proto as proto;
+pub use tfmcc_runner as runner;
 pub use tfmcc_tcp as tcp;
 pub use tfmcc_tfrc as tfrc;
 pub use tfmcc_transport as transport;

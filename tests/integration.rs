@@ -155,18 +155,22 @@ fn feedback_volume_scales_sublinearly_with_receivers() {
 }
 
 /// The experiment harness's quick scale stays runnable end to end (smoke test
-/// for the per-figure binaries).
+/// for the per-figure binaries), including on a multi-threaded sweep runner.
 #[test]
 fn experiment_harness_quick_scale_smoke() {
-    use tfmcc::experiments::{feedback_figs, scaling_figs, Scale};
+    use tfmcc::experiments::{feedback_figs, scaling_figs, Scale, SweepRunner};
+    let runner = SweepRunner::new(2);
     let figs = [
-        feedback_figs::fig01_bias_cdf(Scale::Quick),
-        feedback_figs::fig04_expected_feedback(Scale::Quick),
-        scaling_figs::fig17_loss_events_per_rtt(Scale::Quick),
+        feedback_figs::fig01_bias_cdf(&runner, Scale::Quick),
+        feedback_figs::fig04_expected_feedback(&runner, Scale::Quick),
+        scaling_figs::fig17_loss_events_per_rtt(&runner, Scale::Quick),
     ];
     for fig in figs {
         assert!(!fig.series.is_empty(), "{} has no series", fig.id);
         let csv = fig.to_csv();
         assert!(csv.contains("series"), "{} CSV malformed", fig.id);
+        assert!(fig.to_json().render().contains(&fig.id), "JSON malformed");
     }
+    // Every figure point went through the executor and was timed.
+    assert!(!runner.report().records.is_empty());
 }

@@ -11,17 +11,14 @@ use proc_macro::{TokenStream, TokenTree};
 fn type_ident(input: &TokenStream) -> String {
     let mut saw_keyword = false;
     for tree in input.clone() {
-        match tree {
-            TokenTree::Ident(ident) => {
-                let s = ident.to_string();
-                if saw_keyword {
-                    return s;
-                }
-                if s == "struct" || s == "enum" || s == "union" {
-                    saw_keyword = true;
-                }
+        if let TokenTree::Ident(ident) = tree {
+            let s = ident.to_string();
+            if saw_keyword {
+                return s;
             }
-            _ => {}
+            if s == "struct" || s == "enum" || s == "union" {
+                saw_keyword = true;
+            }
         }
     }
     panic!("serde_derive stub: could not find a type name in the derive input");
