@@ -1,0 +1,64 @@
+//! Fan-out microbench: the 10⁴-receiver multicast delivery workload run
+//! with the zero-copy shared fan-out versus the clone-based reference path
+//! (the seed implementation's behaviour).  The `fanout_churn/*` pair is the
+//! headline before/after comparison; `fanout_static/*` isolates the
+//! steady-state delivery path without membership churn.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use netsim::prelude::FanoutMode;
+use tfmcc_experiments::fanout_bench::{run_fanout_workload, STANDARD_RECEIVERS, STANDARD_SIM_SECS};
+
+fn bench_fanout_churn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fanout_churn_10k");
+    group.bench_function("shared", |b| {
+        b.iter(|| {
+            black_box(run_fanout_workload(
+                STANDARD_RECEIVERS,
+                FanoutMode::Shared,
+                STANDARD_SIM_SECS,
+            ))
+        })
+    });
+    group.bench_function("clone_reference", |b| {
+        b.iter(|| {
+            black_box(run_fanout_workload(
+                STANDARD_RECEIVERS,
+                FanoutMode::CloneReference,
+                STANDARD_SIM_SECS,
+            ))
+        })
+    });
+    group.finish();
+}
+
+fn bench_fanout_static(c: &mut Criterion) {
+    // Short simulated time: the churn group above is the headline
+    // measurement (and sweep_bench writes the authoritative
+    // BENCH_fanout.json); this pair only tracks the steady-state delivery
+    // path, so it does not need to burn CI minutes.
+    let mut group = c.benchmark_group("fanout_static_10k");
+    group.bench_function("shared", |b| {
+        b.iter(|| {
+            black_box(run_fanout_workload(
+                STANDARD_RECEIVERS,
+                FanoutMode::Shared,
+                0.5,
+            ))
+        })
+    });
+    group.bench_function("clone_reference", |b| {
+        b.iter(|| {
+            black_box(run_fanout_workload(
+                STANDARD_RECEIVERS,
+                FanoutMode::CloneReference,
+                0.5,
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fanout_churn, bench_fanout_static);
+criterion_main!(benches);

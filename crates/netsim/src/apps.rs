@@ -7,7 +7,7 @@
 
 use std::any::Any;
 
-use crate::packet::{Address, Dest, FlowId, Packet, Payload};
+use crate::packet::{Address, Dest, FlowId, GroupId, Packet, Payload};
 use crate::sim::{Agent, Context};
 use crate::stats::ThroughputMeter;
 use crate::time::SimTime;
@@ -140,6 +140,79 @@ impl Agent for Sink {
 /// Convenience: the unicast destination of a sink agent.
 pub fn unicast_to(addr: Address) -> Dest {
     Dest::Unicast(addr)
+}
+
+/// A [`Sink`] that subscribes to a multicast group on start — the counting
+/// receiver used by multicast fan-out tests and benchmarks.  It can
+/// optionally churn: leave and rejoin the group on a fixed cycle.
+#[derive(Debug)]
+pub struct GroupSink {
+    group: GroupId,
+    toggle_every: Option<f64>,
+    joined: bool,
+    sink: Sink,
+}
+
+impl GroupSink {
+    /// A group-subscribed sink binning received bytes into `bin`-second
+    /// intervals.
+    pub fn new(group: GroupId, bin: f64) -> Self {
+        GroupSink {
+            group,
+            toggle_every: None,
+            joined: false,
+            sink: Sink::new(bin),
+        }
+    }
+
+    /// Makes the sink toggle its group membership every `period` seconds
+    /// (leave, rejoin, leave, ...) — the churn workload of the fan-out
+    /// benchmarks.
+    pub fn churning(mut self, period: f64) -> Self {
+        assert!(period > 0.0, "churn period must be positive, got {period}");
+        self.toggle_every = Some(period);
+        self
+    }
+
+    /// The throughput meter with everything received so far.
+    pub fn meter(&self) -> &ThroughputMeter {
+        self.sink.meter()
+    }
+
+    /// Number of packets received.
+    pub fn packets(&self) -> u64 {
+        self.sink.packets()
+    }
+}
+
+impl Agent for GroupSink {
+    fn start(&mut self, ctx: &mut Context<'_>) {
+        ctx.join_group(self.group);
+        self.joined = true;
+        if let Some(period) = self.toggle_every {
+            ctx.schedule(period, 0);
+        }
+    }
+    fn on_timer(&mut self, ctx: &mut Context<'_>, _token: u64) {
+        if self.joined {
+            ctx.leave_group(self.group);
+        } else {
+            ctx.join_group(self.group);
+        }
+        self.joined = !self.joined;
+        if let Some(period) = self.toggle_every {
+            ctx.schedule(period, 0);
+        }
+    }
+    fn on_packet(&mut self, ctx: &mut Context<'_>, packet: Packet) {
+        self.sink.on_packet(ctx, packet);
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
 }
 
 #[cfg(test)]

@@ -42,6 +42,7 @@ pub mod apps;
 pub mod link;
 pub mod packet;
 pub mod queue;
+pub mod rng;
 pub mod routing;
 pub mod sim;
 pub mod stats;
@@ -50,13 +51,13 @@ pub mod topology;
 
 /// Convenient glob import of the most commonly used types.
 pub mod prelude {
-    pub use crate::apps::{CbrSource, Sink};
+    pub use crate::apps::{CbrSource, GroupSink, Sink};
     pub use crate::link::{LinkStats, LossModel};
     pub use crate::packet::{
-        Address, AgentId, Dest, FlowId, GroupId, LinkId, NodeId, Packet, Payload, Port,
+        Address, AgentId, Dest, FlowId, GroupId, LinkId, NodeId, Packet, PacketData, Payload, Port,
     };
     pub use crate::queue::{QueueDiscipline, RedConfig};
-    pub use crate::sim::{Agent, Context, Simulator, TimerId};
+    pub use crate::sim::{Agent, Context, FanoutMode, Simulator, TimerId};
     pub use crate::stats::{StatsRegistry, ThroughputMeter};
     pub use crate::time::SimTime;
     pub use crate::topology::{

@@ -6,6 +6,9 @@
 //! topologies of Sections 4.2–4.3, the tail circuits of Figure 10) are
 //! specified: per-direction bandwidth, delay and loss.
 
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
 use crate::packet::{LinkId, NodeId, Packet};
 use crate::queue::{EnqueueResult, Queue, QueueDiscipline};
 use crate::time::SimTime;
@@ -32,6 +35,17 @@ impl LossModel {
         match self {
             LossModel::None => false,
             LossModel::Bernoulli { p } => uniform < *p,
+        }
+    }
+
+    /// Panics (with the offending value) unless the model's parameters are
+    /// valid — finite drop probability within `[0, 1]`.
+    pub fn validate(&self) {
+        if let LossModel::Bernoulli { p } = self {
+            assert!(
+                p.is_finite() && (0.0..=1.0).contains(p),
+                "Bernoulli loss probability must be a finite value in [0, 1], got {p}"
+            );
         }
     }
 }
@@ -69,6 +83,11 @@ pub struct Link {
     queue: Queue,
     /// Packet currently being serialized onto the wire, if any.
     in_flight: Option<Packet>,
+    /// This link's private RNG stream for loss and RED draws.  Each link is
+    /// seeded independently (splitmix64 over the simulation seed and the
+    /// link id), so one link's draw sequence never shifts when other links
+    /// or agents are added to the scenario.
+    rng: SmallRng,
     /// Counters.
     pub stats: LinkStats,
 }
@@ -89,7 +108,12 @@ pub enum LinkAccept {
 }
 
 impl Link {
-    /// Creates an idle link.
+    /// Creates an idle link; `seed` initialises the link's private RNG
+    /// stream for loss and RED draws.
+    ///
+    /// Bandwidth and delay must be positive and finite (same contract as
+    /// `Simulator::add_link`): a zero-bandwidth link never transmits and a
+    /// zero-delay link has a degenerate zero routing metric.
     pub fn new(
         id: LinkId,
         from: NodeId,
@@ -97,9 +121,16 @@ impl Link {
         bandwidth: f64,
         delay: f64,
         discipline: QueueDiscipline,
+        seed: u64,
     ) -> Self {
-        assert!(bandwidth > 0.0, "link bandwidth must be positive");
-        assert!(delay >= 0.0, "link delay must be non-negative");
+        assert!(
+            bandwidth.is_finite() && bandwidth > 0.0,
+            "link bandwidth must be a positive, finite number of bytes/s, got {bandwidth}"
+        );
+        assert!(
+            delay.is_finite() && delay > 0.0,
+            "link delay must be a positive, finite number of seconds, got {delay}"
+        );
         Link {
             id,
             from,
@@ -109,6 +140,7 @@ impl Link {
             loss: LossModel::None,
             queue: Queue::new(discipline),
             in_flight: None,
+            rng: SmallRng::seed_from_u64(seed),
             stats: LinkStats::default(),
         }
     }
@@ -123,11 +155,21 @@ impl Link {
         self.queue.len()
     }
 
-    /// Offers a packet to this link.
-    ///
-    /// `loss_uniform` and `queue_uniform` are independent uniform samples in
-    /// `[0, 1)` consumed by the loss model and RED respectively.
-    pub fn offer(
+    /// Offers a packet to this link, drawing any needed loss/RED samples
+    /// from the link's own deterministic RNG stream.
+    pub fn offer(&mut self, packet: Packet, now: SimTime) -> LinkAccept {
+        let loss_uniform: f64 = self.rng.gen();
+        // The queue sample is drawn up front (whether or not the packet ends
+        // up queued) so a link's draw sequence depends only on how many
+        // packets were offered to it, not on its queue occupancy history.
+        let queue_uniform: f64 = self.rng.gen();
+        self.offer_sampled(packet, now, loss_uniform, queue_uniform)
+    }
+
+    /// [`Link::offer`] with explicit uniform samples in `[0, 1)` for the
+    /// loss model and RED — the deterministic core, also used by tests that
+    /// need to force a drop or an acceptance.
+    pub fn offer_sampled(
         &mut self,
         packet: Packet,
         now: SimTime,
@@ -206,13 +248,14 @@ mod tests {
             bw,
             delay,
             QueueDiscipline::drop_tail(qlen),
+            1,
         )
     }
 
     #[test]
     fn idle_link_transmits_immediately() {
         let mut l = link(1000.0, 0.01, 10);
-        let accept = l.offer(pkt(500), SimTime::ZERO, 0.9, 0.9);
+        let accept = l.offer_sampled(pkt(500), SimTime::ZERO, 0.9, 0.9);
         match accept {
             LinkAccept::Accepted { tx_complete_at } => {
                 assert_eq!(tx_complete_at.unwrap().as_secs(), 0.5);
@@ -224,9 +267,9 @@ mod tests {
 
     #[test]
     fn busy_link_queues_and_chains_transmissions() {
-        let mut l = link(1000.0, 0.0, 10);
-        l.offer(pkt(1000), SimTime::ZERO, 0.9, 0.9);
-        let second = l.offer(pkt(500), SimTime::ZERO, 0.9, 0.9);
+        let mut l = link(1000.0, 0.001, 10);
+        l.offer_sampled(pkt(1000), SimTime::ZERO, 0.9, 0.9);
+        let second = l.offer_sampled(pkt(500), SimTime::ZERO, 0.9, 0.9);
         assert_eq!(
             second,
             LinkAccept::Accepted {
@@ -248,11 +291,11 @@ mod tests {
 
     #[test]
     fn queue_overflow_drops() {
-        let mut l = link(1000.0, 0.0, 2);
-        l.offer(pkt(100), SimTime::ZERO, 0.9, 0.9); // in flight
-        l.offer(pkt(100), SimTime::ZERO, 0.9, 0.9); // queued 1
-        l.offer(pkt(100), SimTime::ZERO, 0.9, 0.9); // queued 2
-        let r = l.offer(pkt(100), SimTime::ZERO, 0.9, 0.9);
+        let mut l = link(1000.0, 0.001, 2);
+        l.offer_sampled(pkt(100), SimTime::ZERO, 0.9, 0.9); // in flight
+        l.offer_sampled(pkt(100), SimTime::ZERO, 0.9, 0.9); // queued 1
+        l.offer_sampled(pkt(100), SimTime::ZERO, 0.9, 0.9); // queued 2
+        let r = l.offer_sampled(pkt(100), SimTime::ZERO, 0.9, 0.9);
         assert_eq!(r, LinkAccept::Dropped);
         assert_eq!(l.stats.dropped_queue, 1);
         assert_eq!(l.stats.enqueued, 3);
@@ -260,14 +303,14 @@ mod tests {
 
     #[test]
     fn bernoulli_loss_drops_based_on_sample() {
-        let mut l = link(1000.0, 0.0, 10);
+        let mut l = link(1000.0, 0.001, 10);
         l.loss = LossModel::Bernoulli { p: 0.25 };
         assert_eq!(
-            l.offer(pkt(100), SimTime::ZERO, 0.1, 0.9),
+            l.offer_sampled(pkt(100), SimTime::ZERO, 0.1, 0.9),
             LinkAccept::Dropped
         );
         assert!(matches!(
-            l.offer(pkt(100), SimTime::ZERO, 0.5, 0.9),
+            l.offer_sampled(pkt(100), SimTime::ZERO, 0.5, 0.9),
             LinkAccept::Accepted { .. }
         ));
         assert_eq!(l.stats.dropped_loss, 1);
@@ -282,7 +325,7 @@ mod tests {
 
     #[test]
     fn tx_time_scales_with_size_and_bandwidth() {
-        let l = link(1_000_000.0, 0.0, 10);
+        let l = link(1_000_000.0, 0.001, 10);
         assert_eq!(l.tx_time(1_000_000), 1.0);
         assert_eq!(l.tx_time(500_000), 0.5);
     }

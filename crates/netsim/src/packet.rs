@@ -4,9 +4,21 @@
 //! (source address, destination, size, flow id) plus an opaque, cheaply
 //! cloneable [`Payload`] that the protocol agents downcast to their own
 //! header types.
+//!
+//! # Zero-copy representation
+//!
+//! A [`Packet`] is a thin handle (`Arc<PacketData>`): cloning it — which the
+//! multicast fan-out does once per out-link and once per local subscriber —
+//! is a single reference-count bump, no matter how many receivers a group
+//! has.  The header fields are reached through `Deref`, so `packet.size`,
+//! `packet.src` etc. read as before.  The simulator stamps `id`/`src`/
+//! `sent_at` exactly once, at send time, while it still holds the only
+//! reference (a free copy-on-write via [`Arc::make_mut`]); after that the
+//! packet is immutable all the way to every receiver.
 
 use std::any::Any;
 use std::fmt;
+use std::ops::Deref;
 use std::sync::Arc;
 
 use crate::time::SimTime;
@@ -114,9 +126,13 @@ impl Default for Payload {
     }
 }
 
-/// A packet in flight.
+/// The header fields and payload of a packet.
+///
+/// Reached through [`Packet`]'s `Deref`; exists as its own type so the
+/// simulator can share one allocation between all replicas of a multicast
+/// packet.
 #[derive(Debug, Clone)]
-pub struct Packet {
+pub struct PacketData {
     /// Unique id assigned by the simulator when the packet is first sent.
     pub id: u64,
     /// Sending endpoint.
@@ -134,20 +150,63 @@ pub struct Packet {
     pub payload: Payload,
 }
 
+/// A packet in flight: a shared handle to one immutable [`PacketData`].
+#[derive(Debug, Clone)]
+pub struct Packet {
+    data: Arc<PacketData>,
+}
+
+impl Deref for Packet {
+    type Target = PacketData;
+    fn deref(&self) -> &PacketData {
+        &self.data
+    }
+}
+
 impl Packet {
     /// Builds a packet ready to hand to [`crate::sim::Context::send`].
     ///
     /// `id` and `sent_at` are filled in by the simulator.
     pub fn new(src: Address, dst: Dest, size: u32, flow: FlowId, payload: Payload) -> Self {
         Packet {
-            id: 0,
-            src,
-            dst,
-            size,
-            flow,
-            sent_at: SimTime::ZERO,
-            payload,
+            data: Arc::new(PacketData {
+                id: 0,
+                src,
+                dst,
+                size,
+                flow,
+                sent_at: SimTime::ZERO,
+                payload,
+            }),
         }
+    }
+
+    /// Stamps the send-time header fields.  Called by the simulator exactly
+    /// once, before the packet enters the network; at that point the handle
+    /// is still unique, so the copy-on-write is free.
+    pub(crate) fn stamp(&mut self, id: u64, src: Address, sent_at: SimTime) {
+        let data = Arc::make_mut(&mut self.data);
+        data.id = id;
+        data.src = src;
+        data.sent_at = sent_at;
+    }
+
+    /// A copy with its own `PacketData` allocation (the payload `Arc` is
+    /// still shared, as it always was).
+    ///
+    /// This is what every per-receiver clone cost before the zero-copy
+    /// refactor; the clone-based reference fan-out path uses it so benches
+    /// and equivalence tests can compare against the historical behaviour.
+    pub fn deep_clone(&self) -> Packet {
+        Packet {
+            data: Arc::new(PacketData::clone(&self.data)),
+        }
+    }
+
+    /// True if both handles point at the same `PacketData` allocation —
+    /// i.e. the fan-out shared this packet instead of copying it.
+    pub fn shares_data_with(&self, other: &Packet) -> bool {
+        Arc::ptr_eq(&self.data, &other.data)
     }
 }
 
@@ -183,6 +242,30 @@ mod tests {
         assert_eq!(pkt.size, 1000);
         assert_eq!(pkt.flow, FlowId(3));
         assert_eq!(pkt.src, src);
+    }
+
+    #[test]
+    fn clone_shares_deep_clone_copies() {
+        let src = Address::new(NodeId(0), Port(1));
+        let mut pkt = Packet::new(src, Dest::Unicast(src), 100, FlowId(1), Payload::empty());
+        pkt.stamp(42, src, SimTime::from_secs(1.5));
+        let shared = pkt.clone();
+        assert!(pkt.shares_data_with(&shared));
+        let copied = pkt.deep_clone();
+        assert!(!pkt.shares_data_with(&copied));
+        assert_eq!(copied.id, 42);
+        assert_eq!(copied.sent_at, SimTime::from_secs(1.5));
+    }
+
+    #[test]
+    fn stamp_after_clone_does_not_alias() {
+        let src = Address::new(NodeId(0), Port(1));
+        let mut pkt = Packet::new(src, Dest::Unicast(src), 100, FlowId(1), Payload::empty());
+        let before = pkt.clone();
+        pkt.stamp(7, src, SimTime::from_secs(2.0));
+        // Copy-on-write: the earlier clone still sees the unstamped header.
+        assert_eq!(before.id, 0);
+        assert_eq!(pkt.id, 7);
     }
 
     #[test]

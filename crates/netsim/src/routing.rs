@@ -1,14 +1,25 @@
 //! Unicast routing tables and multicast distribution trees.
 //!
-//! Routes are computed with Dijkstra's algorithm over link propagation delay
-//! (ties broken by hop count via a tiny per-hop epsilon), which makes the
-//! unicast paths of all evaluation topologies the obvious shortest paths.
-//! Multicast distribution trees are derived from the unicast routes: the tree
-//! rooted at a source is the union of the unicast paths from the source to
-//! every group member, which is exactly a shortest-path source tree and
-//! mirrors what DVMRP/PIM-SM would build on these topologies.
+//! Routes use shortest paths over link propagation delay (ties broken by hop
+//! count via a tiny per-hop epsilon), which makes the unicast paths of all
+//! evaluation topologies the obvious shortest paths.  Multicast distribution
+//! trees are shortest-path source trees — exactly what DVMRP/PIM-SM would
+//! build on these topologies.
+//!
+//! # Scaling
+//!
+//! Nothing here is all-pairs.  Unicast next hops are computed **lazily per
+//! destination** (one reverse Dijkstra the first time any node needs a route
+//! toward that destination), and a multicast tree is **one forward Dijkstra**
+//! from the source plus an incrementally maintained, reference-counted
+//! member overlay ([`SourceTree`]): joining or leaving a group touches only
+//! the member's path to the source, not the whole tree.  This is what lets a
+//! single simulation hold 10⁵ receivers — the seed implementation ran one
+//! Dijkstra per *node* up front and rebuilt every tree on every membership
+//! change.
 
 use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::sync::Arc;
 
 use crate::packet::{GroupId, LinkId, NodeId};
 
@@ -29,156 +40,218 @@ pub struct Edge {
     pub delay: f64,
 }
 
-/// Unicast routing state: next-hop link per (source node, destination node).
+/// One directed hop in an adjacency list: (neighbour, link, cost).
+type Hop = (NodeId, LinkId, f64);
+
+/// Min-heap entry for Dijkstra; ordered by (distance, node) so the pop order
+/// — and therefore tie-breaking between equal-cost paths — is deterministic.
+#[derive(PartialEq)]
+struct HeapEntry {
+    dist: f64,
+    node: usize,
+}
+impl Eq for HeapEntry {}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed for a min-heap; distances are finite and non-NaN.
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .expect("distances are never NaN")
+            .then(other.node.cmp(&self.node))
+    }
+}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Shortest-path parents of a single-source Dijkstra: for every node, the
+/// predecessor hop on its shortest path from the source (`None` for the
+/// source itself and for unreachable nodes).
+#[derive(Debug, Clone)]
+pub struct PathParents {
+    source: NodeId,
+    parent: Vec<Option<(NodeId, LinkId)>>,
+}
+
+impl PathParents {
+    /// The predecessor hop of `node`: the node the path arrives from and the
+    /// link it arrives over.
+    pub fn parent(&self, node: NodeId) -> Option<(NodeId, LinkId)> {
+        self.parent[node.0]
+    }
+
+    /// True if `node` is reachable from the source.
+    pub fn reachable(&self, node: NodeId) -> bool {
+        node == self.source || self.parent[node.0].is_some()
+    }
+}
+
+/// Unicast routing state over a fixed topology.
+///
+/// Construction ([`RoutingTable::compute`]) only builds adjacency lists; the
+/// per-destination next-hop tables are filled in on first use.
 #[derive(Debug, Default)]
 pub struct RoutingTable {
-    /// `next_hop[src.0]` maps destination node to the outgoing link.
-    next_hop: Vec<HashMap<NodeId, LinkId>>,
+    node_count: usize,
+    /// Outgoing hops per node.
+    fwd: Vec<Vec<Hop>>,
+    /// Incoming hops per node (the forward edges reversed), for the
+    /// per-destination reverse Dijkstra.
+    rev: Vec<Vec<Hop>>,
+    /// `to` node of every link, indexed by `LinkId`.
+    link_to: HashMap<LinkId, NodeId>,
+    /// Lazily computed: for destination `d`, `toward[&d][src]` is the next
+    /// outgoing link at `src` on the shortest path to `d`.
+    toward: HashMap<NodeId, Vec<Option<LinkId>>>,
 }
 
 impl RoutingTable {
-    /// Computes routes for `node_count` nodes over the given directed edges.
+    /// Builds the adjacency for `node_count` nodes over the given directed
+    /// edges.  Cheap: next hops are computed lazily per destination.
     pub fn compute(node_count: usize, edges: &[Edge]) -> Self {
-        let mut adjacency: Vec<Vec<Edge>> = vec![Vec::new(); node_count];
+        let mut fwd: Vec<Vec<Hop>> = vec![Vec::new(); node_count];
+        let mut rev: Vec<Vec<Hop>> = vec![Vec::new(); node_count];
+        let mut link_to = HashMap::with_capacity(edges.len());
         for e in edges {
-            adjacency[e.from.0].push(*e);
+            let cost = e.delay + HOP_EPSILON;
+            fwd[e.from.0].push((e.to, e.link, cost));
+            rev[e.to.0].push((e.from, e.link, cost));
+            link_to.insert(e.link, e.to);
         }
-        let mut next_hop = vec![HashMap::new(); node_count];
-        for (src, hops) in next_hop.iter_mut().enumerate() {
-            let (dist, first_link) = dijkstra(src, node_count, &adjacency);
-            for dst in 0..node_count {
-                if dst != src && dist[dst].is_finite() {
-                    if let Some(link) = first_link[dst] {
-                        hops.insert(NodeId(dst), link);
-                    }
-                }
-            }
+        RoutingTable {
+            node_count,
+            fwd,
+            rev,
+            link_to,
+            toward: HashMap::new(),
         }
-        RoutingTable { next_hop }
     }
 
     /// The outgoing link at `from` toward `to`, if a route exists.
-    pub fn next_hop(&self, from: NodeId, to: NodeId) -> Option<LinkId> {
-        self.next_hop.get(from.0).and_then(|m| m.get(&to)).copied()
+    ///
+    /// The first query for a destination runs one reverse Dijkstra rooted at
+    /// it; later queries for the same destination are an array lookup.
+    pub fn next_hop(&mut self, from: NodeId, to: NodeId) -> Option<LinkId> {
+        if from.0 >= self.node_count || to.0 >= self.node_count || from == to {
+            return None;
+        }
+        if !self.toward.contains_key(&to) {
+            let table = self.compute_toward(to);
+            self.toward.insert(to, table);
+        }
+        self.toward[&to][from.0]
     }
 
     /// The full path of links from `from` to `to`, if a route exists.
-    pub fn path(&self, from: NodeId, to: NodeId, edges: &[Edge]) -> Option<Vec<LinkId>> {
-        let by_id: HashMap<LinkId, &Edge> = edges.iter().map(|e| (e.link, e)).collect();
+    pub fn path(&mut self, from: NodeId, to: NodeId) -> Option<Vec<LinkId>> {
+        if from.0 >= self.node_count || to.0 >= self.node_count {
+            return None;
+        }
         let mut path = Vec::new();
         let mut cur = from;
-        let mut guard = 0;
+        let mut guard = 0usize;
         while cur != to {
             let link = self.next_hop(cur, to)?;
             path.push(link);
-            cur = by_id.get(&link)?.to;
+            cur = *self.link_to.get(&link)?;
             guard += 1;
-            if guard > edges.len() + 1 {
+            if guard > self.node_count + 1 {
                 return None; // routing loop, should not happen
             }
         }
         Some(path)
     }
+
+    /// Single-source shortest-path parents from `source` over the forward
+    /// graph (used to build and incrementally maintain multicast trees).
+    pub fn parents_from(&self, source: NodeId) -> PathParents {
+        PathParents {
+            source,
+            parent: dijkstra_hops(&self.fwd, source.0),
+        }
+    }
+
+    /// Reverse Dijkstra rooted at destination `to`: for every node, the
+    /// first link on its shortest path toward `to`.
+    ///
+    /// A relaxed reverse hop (from, link) means the forward edge
+    /// `from -link-> node`: `from` reaches `to` by entering `link` first.
+    fn compute_toward(&self, to: NodeId) -> Vec<Option<LinkId>> {
+        dijkstra_hops(&self.rev, to.0)
+            .into_iter()
+            .map(|hop| hop.map(|(_, link)| link))
+            .collect()
+    }
 }
 
-/// Dijkstra from `src`; returns (distance, first link on the path) per node.
-fn dijkstra(
-    src: usize,
-    node_count: usize,
-    adjacency: &[Vec<Edge>],
-) -> (Vec<f64>, Vec<Option<LinkId>>) {
-    #[derive(PartialEq)]
-    struct Entry {
-        dist: f64,
-        node: usize,
-    }
-    impl Eq for Entry {}
-    impl Ord for Entry {
-        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-            // Reverse for a min-heap; distances are finite and non-NaN.
-            other
-                .dist
-                .partial_cmp(&self.dist)
-                .expect("distances are never NaN")
-                .then(other.node.cmp(&self.node))
-        }
-    }
-    impl PartialOrd for Entry {
-        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-            Some(self.cmp(other))
-        }
-    }
-
+/// Dijkstra from `root` over an adjacency, recording for every node the hop
+/// `(neighbour, link)` chosen when the node was last relaxed (`None` for the
+/// root and unreachable nodes).  Over the forward adjacency this yields
+/// shortest-path parents; over the reversed adjacency, first hops toward the
+/// root.  One body means cost metric and tie-breaking (deterministic via
+/// [`HeapEntry`]'s (dist, node) order) can never diverge between unicast
+/// routes and multicast trees.
+fn dijkstra_hops(adjacency: &[Vec<Hop>], root: usize) -> Vec<Option<(NodeId, LinkId)>> {
+    let node_count = adjacency.len();
     let mut dist = vec![f64::INFINITY; node_count];
-    let mut first_link: Vec<Option<LinkId>> = vec![None; node_count];
-    let mut heap = BinaryHeap::new();
-    dist[src] = 0.0;
-    heap.push(Entry {
-        dist: 0.0,
-        node: src,
-    });
+    let mut hop: Vec<Option<(NodeId, LinkId)>> = vec![None; node_count];
     let mut done = vec![false; node_count];
-    while let Some(Entry { dist: d, node }) = heap.pop() {
+    let mut heap = BinaryHeap::new();
+    dist[root] = 0.0;
+    heap.push(HeapEntry {
+        dist: 0.0,
+        node: root,
+    });
+    while let Some(HeapEntry { dist: d, node }) = heap.pop() {
         if done[node] {
             continue;
         }
         done[node] = true;
-        for e in &adjacency[node] {
-            let nd = d + e.delay + HOP_EPSILON;
-            if nd < dist[e.to.0] {
-                dist[e.to.0] = nd;
-                first_link[e.to.0] = if node == src {
-                    Some(e.link)
-                } else {
-                    first_link[node]
-                };
-                heap.push(Entry {
+        for &(next, link, cost) in &adjacency[node] {
+            let nd = d + cost;
+            if nd < dist[next.0] {
+                dist[next.0] = nd;
+                hop[next.0] = Some((NodeId(node), link));
+                heap.push(HeapEntry {
                     dist: nd,
-                    node: e.to.0,
+                    node: next.0,
                 });
             }
         }
     }
-    (dist, first_link)
+    hop
 }
 
-/// A source-rooted multicast distribution tree: for every node, the set of
-/// outgoing links on which packets of this (group, source) must be replicated.
+/// A source-rooted multicast distribution tree built from scratch as the
+/// union of shortest paths to every member.
+///
+/// This is the **clone-based reference implementation** of the tree (what
+/// the simulator did before incremental maintenance): it is rebuilt in full
+/// whenever the membership changes.  The live fan-out path uses
+/// [`SourceTree`]; this type remains for the reference fan-out mode that the
+/// equivalence tests and the fan-out microbench compare against.
 #[derive(Debug, Clone, Default)]
 pub struct DistributionTree {
     children: HashMap<NodeId, Vec<LinkId>>,
 }
 
 impl DistributionTree {
-    /// Builds the tree rooted at `source` spanning `members` (node ids of the
-    /// group's receivers) as the union of unicast paths.
-    pub fn build(
-        source: NodeId,
-        members: &HashSet<NodeId>,
-        routes: &RoutingTable,
-        edges: &[Edge],
-    ) -> Self {
-        let by_id: HashMap<LinkId, &Edge> = edges.iter().map(|e| (e.link, e)).collect();
+    /// Builds the tree rooted at `source` spanning `members` (node ids of
+    /// the group's receivers) as the union of shortest paths.
+    pub fn build(source: NodeId, members: &HashSet<NodeId>, routes: &RoutingTable) -> Self {
+        let parents = routes.parents_from(source);
         let mut children: HashMap<NodeId, HashSet<LinkId>> = HashMap::new();
         for &member in members {
-            if member == source {
-                continue;
+            if member == source || !parents.reachable(member) {
+                continue; // unreachable member: skip
             }
-            let mut cur = source;
-            let mut guard = 0;
-            while cur != member {
-                let Some(link) = routes.next_hop(cur, member) else {
-                    break; // unreachable member: skip
-                };
-                children.entry(cur).or_default().insert(link);
-                cur = match by_id.get(&link) {
-                    Some(e) => e.to,
-                    None => break,
-                };
-                guard += 1;
-                if guard > edges.len() + 1 {
-                    break;
-                }
+            let mut cur = member;
+            while let Some((up, link)) = parents.parent(cur) {
+                children.entry(up).or_default().insert(link);
+                cur = up;
             }
         }
         DistributionTree {
@@ -204,28 +277,135 @@ impl DistributionTree {
     }
 }
 
+/// An incrementally maintained source-rooted multicast tree.
+///
+/// Built with one forward Dijkstra from the source; after that, member joins
+/// and leaves walk only the member's path to the source, maintaining a
+/// per-node reference count (how many members' paths pass through the node)
+/// and the per-node sorted out-link lists.  The out-link lists are shared
+/// (`Arc`) so the fan-out can iterate them without copying while the event
+/// handler mutates the world.
+#[derive(Debug)]
+pub struct SourceTree {
+    parents: PathParents,
+    /// Number of members whose delivery path passes through each node
+    /// (the source itself is not counted).
+    cnt: Vec<u32>,
+    /// Sorted replication links out of each node; slots share one empty
+    /// allocation until first use.
+    out: Vec<Arc<Vec<LinkId>>>,
+}
+
+impl SourceTree {
+    /// Builds the tree rooted at `source` and attaches every current member.
+    pub fn build(source: NodeId, members: &HashSet<NodeId>, routes: &RoutingTable) -> Self {
+        let parents = routes.parents_from(source);
+        let node_count = parents.parent.len();
+        let empty = Arc::new(Vec::new());
+        let mut tree = SourceTree {
+            parents,
+            cnt: vec![0; node_count],
+            out: vec![empty; node_count],
+        };
+        // Deterministic attach order (members come from a HashSet).
+        let mut ordered: Vec<NodeId> = members.iter().copied().collect();
+        ordered.sort();
+        for member in ordered {
+            tree.add_member(member);
+        }
+        tree
+    }
+
+    /// Attaches a member: walks its path to the source, incrementing the
+    /// per-node counts and materialising newly needed replication links.
+    pub fn add_member(&mut self, member: NodeId) {
+        if !self.parents.reachable(member) || member == self.parents.source {
+            return;
+        }
+        let mut cur = member;
+        while let Some((up, link)) = self.parents.parent(cur) {
+            self.cnt[cur.0] += 1;
+            if self.cnt[cur.0] == 1 {
+                let list = Arc::make_mut(&mut self.out[up.0]);
+                if let Err(pos) = list.binary_search(&link) {
+                    list.insert(pos, link);
+                }
+            }
+            cur = up;
+        }
+    }
+
+    /// Detaches a member: the mirror image of [`SourceTree::add_member`].
+    pub fn remove_member(&mut self, member: NodeId) {
+        if !self.parents.reachable(member) || member == self.parents.source {
+            return;
+        }
+        let mut cur = member;
+        while let Some((up, link)) = self.parents.parent(cur) {
+            debug_assert!(self.cnt[cur.0] > 0, "leave without matching join");
+            self.cnt[cur.0] = self.cnt[cur.0].saturating_sub(1);
+            if self.cnt[cur.0] == 0 {
+                let list = Arc::make_mut(&mut self.out[up.0]);
+                if let Ok(pos) = list.binary_search(&link) {
+                    list.remove(pos);
+                }
+            }
+            cur = up;
+        }
+    }
+
+    /// The shared, sorted out-link list at `node` — cloning the `Arc` is the
+    /// zero-copy way to iterate it while mutating the simulation.
+    pub fn out_links(&self, node: NodeId) -> &Arc<Vec<LinkId>> {
+        &self.out[node.0]
+    }
+
+    /// Total number of edges in the tree.
+    pub fn edge_count(&self) -> usize {
+        self.out.iter().map(|v| v.len()).sum()
+    }
+}
+
 /// Multicast group membership plus cached distribution trees.
 #[derive(Debug, Default)]
 pub struct MulticastState {
     /// Group -> member node set.
     members: HashMap<GroupId, HashSet<NodeId>>,
-    /// Cached trees keyed by (group, source node).
-    trees: HashMap<(GroupId, NodeId), DistributionTree>,
+    /// Incrementally maintained trees keyed by (group, source node).
+    trees: HashMap<(GroupId, NodeId), SourceTree>,
+    /// Rebuild-from-scratch trees for the clone-based reference fan-out;
+    /// invalidated (seed behaviour) on every membership change.
+    ref_trees: HashMap<(GroupId, NodeId), DistributionTree>,
 }
 
 impl MulticastState {
-    /// Adds `node` to `group`, invalidating cached trees for the group.
+    /// Adds `node` to `group`, updating cached trees for the group in place.
     pub fn join(&mut self, group: GroupId, node: NodeId) {
-        self.members.entry(group).or_default().insert(node);
-        self.trees.retain(|(g, _), _| *g != group);
+        if self.members.entry(group).or_default().insert(node) {
+            for ((g, _), tree) in self.trees.iter_mut() {
+                if *g == group {
+                    tree.add_member(node);
+                }
+            }
+            self.ref_trees.retain(|(g, _), _| *g != group);
+        }
     }
 
-    /// Removes `node` from `group`, invalidating cached trees for the group.
+    /// Removes `node` from `group`, updating cached trees for the group in
+    /// place.
     pub fn leave(&mut self, group: GroupId, node: NodeId) {
-        if let Some(set) = self.members.get_mut(&group) {
-            set.remove(&node);
+        let removed = self
+            .members
+            .get_mut(&group)
+            .is_some_and(|set| set.remove(&node));
+        if removed {
+            for ((g, _), tree) in self.trees.iter_mut() {
+                if *g == group {
+                    tree.remove_member(node);
+                }
+            }
+            self.ref_trees.retain(|(g, _), _| *g != group);
         }
-        self.trees.retain(|(g, _), _| *g != group);
     }
 
     /// Member node set of a group (empty if the group does not exist).
@@ -233,24 +413,38 @@ impl MulticastState {
         self.members.get(&group).cloned().unwrap_or_default()
     }
 
-    /// Returns (building and caching if necessary) the distribution tree for
-    /// `group` rooted at `source`.
-    pub fn tree(
+    /// Returns (building and caching if necessary) the incrementally
+    /// maintained distribution tree for `group` rooted at `source`.
+    pub fn tree(&mut self, group: GroupId, source: NodeId, routes: &RoutingTable) -> &SourceTree {
+        let members = self.members.get(&group);
+        self.trees.entry((group, source)).or_insert_with(|| {
+            let empty = HashSet::new();
+            SourceTree::build(source, members.unwrap_or(&empty), routes)
+        })
+    }
+
+    /// Returns (building and caching if necessary) the rebuild-from-scratch
+    /// reference tree for `group` rooted at `source`.
+    ///
+    /// Faithful to the seed implementation, this clones the group's entire
+    /// member set on every call — cache hit or not — which is part of the
+    /// per-send cost the zero-copy fan-out removed.
+    pub fn ref_tree(
         &mut self,
         group: GroupId,
         source: NodeId,
         routes: &RoutingTable,
-        edges: &[Edge],
     ) -> &DistributionTree {
         let members = self.members(group);
-        self.trees
+        self.ref_trees
             .entry((group, source))
-            .or_insert_with(|| DistributionTree::build(source, &members, routes, edges))
+            .or_insert_with(|| DistributionTree::build(source, &members, routes))
     }
 
     /// Drops every cached tree (used after topology changes).
     pub fn invalidate(&mut self) {
         self.trees.clear();
+        self.ref_trees.clear();
     }
 }
 
@@ -290,14 +484,14 @@ mod tests {
     #[test]
     fn unicast_routes_follow_shortest_path() {
         let (n, edges) = line_graph();
-        let rt = RoutingTable::compute(n, &edges);
+        let mut rt = RoutingTable::compute(n, &edges);
         // 0 -> 2 goes via node 1.
         assert_eq!(rt.next_hop(NodeId(0), NodeId(2)), Some(LinkId(0)));
         assert_eq!(rt.next_hop(NodeId(1), NodeId(2)), Some(LinkId(2)));
         // 2 -> 3 goes back through 1.
         assert_eq!(rt.next_hop(NodeId(2), NodeId(3)), Some(LinkId(3)));
         // Full path reconstruction.
-        let path = rt.path(NodeId(0), NodeId(3), &edges).unwrap();
+        let path = rt.path(NodeId(0), NodeId(3)).unwrap();
         assert_eq!(path, vec![LinkId(0), LinkId(4)]);
     }
 
@@ -309,7 +503,7 @@ mod tests {
             to: NodeId(1),
             delay: 0.01,
         }];
-        let rt = RoutingTable::compute(3, &edges);
+        let mut rt = RoutingTable::compute(3, &edges);
         assert_eq!(rt.next_hop(NodeId(0), NodeId(2)), None);
         assert_eq!(rt.next_hop(NodeId(1), NodeId(0)), None); // one-way link
     }
@@ -337,8 +531,11 @@ mod tests {
                 delay: 0.02,
             },
         ];
-        let rt = RoutingTable::compute(3, &edges);
+        let mut rt = RoutingTable::compute(3, &edges);
         assert_eq!(rt.next_hop(NodeId(0), NodeId(2)), Some(LinkId(1)));
+        // The forward parents agree with the reverse next hops.
+        let parents = rt.parents_from(NodeId(0));
+        assert_eq!(parents.parent(NodeId(2)), Some((NodeId(1), LinkId(2))));
     }
 
     #[test]
@@ -346,7 +543,7 @@ mod tests {
         let (n, edges) = line_graph();
         let rt = RoutingTable::compute(n, &edges);
         let members: HashSet<NodeId> = [NodeId(2), NodeId(3)].into_iter().collect();
-        let tree = DistributionTree::build(NodeId(0), &members, &rt, &edges);
+        let tree = DistributionTree::build(NodeId(0), &members, &rt);
         // Node 0 forwards once toward node 1; node 1 branches to 2 and 3.
         assert_eq!(tree.out_links(NodeId(0)), &[LinkId(0)]);
         let mut at1 = tree.out_links(NodeId(1)).to_vec();
@@ -357,6 +554,46 @@ mod tests {
     }
 
     #[test]
+    fn source_tree_incremental_updates_match_rebuilds() {
+        let (n, edges) = line_graph();
+        let rt = RoutingTable::compute(n, &edges);
+        let mut members: HashSet<NodeId> = HashSet::new();
+        let mut tree = SourceTree::build(NodeId(0), &members, &rt);
+        assert_eq!(tree.edge_count(), 0);
+
+        for step in [
+            (NodeId(2), true),
+            (NodeId(3), true),
+            (NodeId(2), false),
+            (NodeId(1), true),
+            (NodeId(3), false),
+            (NodeId(1), false),
+        ] {
+            let (node, joining) = step;
+            if joining {
+                members.insert(node);
+                tree.add_member(node);
+            } else {
+                members.remove(&node);
+                tree.remove_member(node);
+            }
+            let reference = DistributionTree::build(NodeId(0), &members, &rt);
+            assert_eq!(
+                tree.edge_count(),
+                reference.edge_count(),
+                "edge count diverged after {step:?}"
+            );
+            for v in 0..n {
+                assert_eq!(
+                    tree.out_links(NodeId(v)).as_slice(),
+                    reference.out_links(NodeId(v)),
+                    "out links diverged at node {v} after {step:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn multicast_membership_and_tree_cache() {
         let (n, edges) = line_graph();
         let rt = RoutingTable::compute(n, &edges);
@@ -364,16 +601,19 @@ mod tests {
         let g = GroupId(1);
         mc.join(g, NodeId(2));
         assert_eq!(mc.members(g).len(), 1);
-        let t1_edges = mc.tree(g, NodeId(0), &rt, &edges).edge_count();
+        let t1_edges = mc.tree(g, NodeId(0), &rt).edge_count();
         assert_eq!(t1_edges, 2); // 0->1->2
         mc.join(g, NodeId(3));
-        let t2_edges = mc.tree(g, NodeId(0), &rt, &edges).edge_count();
-        assert_eq!(t2_edges, 3); // tree rebuilt after join
+        let t2_edges = mc.tree(g, NodeId(0), &rt).edge_count();
+        assert_eq!(t2_edges, 3); // tree updated in place after join
         mc.leave(g, NodeId(2));
-        let t3_edges = mc.tree(g, NodeId(0), &rt, &edges).edge_count();
+        let t3_edges = mc.tree(g, NodeId(0), &rt).edge_count();
         assert_eq!(t3_edges, 2); // 0->1->3
         mc.leave(g, NodeId(3));
-        assert_eq!(mc.tree(g, NodeId(0), &rt, &edges).edge_count(), 0);
+        assert_eq!(mc.tree(g, NodeId(0), &rt).edge_count(), 0);
+        // The reference tree agrees at every point it is queried.
+        mc.join(g, NodeId(2));
+        assert_eq!(mc.ref_tree(g, NodeId(0), &rt).edge_count(), 2);
     }
 
     #[test]
@@ -381,7 +621,24 @@ mod tests {
         let (n, edges) = line_graph();
         let rt = RoutingTable::compute(n, &edges);
         let members: HashSet<NodeId> = [NodeId(0), NodeId(2)].into_iter().collect();
-        let tree = DistributionTree::build(NodeId(0), &members, &rt, &edges);
+        let tree = DistributionTree::build(NodeId(0), &members, &rt);
         assert_eq!(tree.edge_count(), 2); // only the path to node 2
+        let inc = SourceTree::build(NodeId(0), &members, &rt);
+        assert_eq!(inc.edge_count(), 2);
+    }
+
+    #[test]
+    fn duplicate_joins_and_leaves_are_idempotent() {
+        let (n, edges) = line_graph();
+        let rt = RoutingTable::compute(n, &edges);
+        let mut mc = MulticastState::default();
+        let g = GroupId(9);
+        mc.join(g, NodeId(3));
+        mc.join(g, NodeId(3));
+        assert_eq!(mc.tree(g, NodeId(0), &rt).edge_count(), 2);
+        mc.leave(g, NodeId(3));
+        mc.leave(g, NodeId(3));
+        assert_eq!(mc.tree(g, NodeId(0), &rt).edge_count(), 0);
+        let _ = n;
     }
 }

@@ -19,6 +19,7 @@
 use std::any::Any;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::sync::Arc;
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -26,9 +27,28 @@ use rand::{Rng, SeedableRng};
 use crate::link::{Link, LinkAccept, LinkStats, LossModel};
 use crate::packet::{Address, AgentId, Dest, GroupId, LinkId, NodeId, Packet, Port};
 use crate::queue::QueueDiscipline;
+use crate::rng::stream_seed;
 use crate::routing::{Edge, MulticastState, RoutingTable};
 use crate::stats::StatsRegistry;
 use crate::time::SimTime;
+
+/// How multicast packets are replicated to their receivers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FanoutMode {
+    /// Zero-copy fan-out (the default): every replica shares one
+    /// `PacketData` allocation, local subscribers come from a sorted
+    /// per-`(node, group)` cache and tree out-links are iterated through a
+    /// shared `Arc` slice.
+    #[default]
+    Shared,
+    /// The historical clone-based path, kept as an executable reference:
+    /// one `PacketData` copy per replica, subscribers collected and sorted
+    /// per send, out-links copied per send, and distribution trees rebuilt
+    /// from scratch after every membership change.  Delivery order and
+    /// content are identical to [`FanoutMode::Shared`] — the equivalence
+    /// proptest and the fan-out microbench rely on that.
+    CloneReference,
+}
 
 /// Handle for a scheduled timer, usable to cancel it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -113,7 +133,12 @@ struct Node {
     #[allow(dead_code)]
     name: String,
     agents: HashMap<Port, AgentId>,
+    /// Unordered subscription sets — the source of truth, and what the
+    /// clone-based reference fan-out collects and sorts per send.
     subscriptions: HashMap<GroupId, HashSet<AgentId>>,
+    /// Sorted subscriber lists maintained on join/leave; the shared fan-out
+    /// clones the `Arc` and iterates without allocating.
+    subscriber_cache: HashMap<GroupId, Arc<Vec<AgentId>>>,
 }
 
 /// Everything in the simulation except the agents themselves.
@@ -132,7 +157,10 @@ pub struct World {
     cancelled_timers: HashSet<u64>,
     next_timer: u64,
     next_packet: u64,
+    /// The simulation's root seed; per-link RNG streams are derived from it.
+    seed: u64,
     rng: SmallRng,
+    fanout_mode: FanoutMode,
     events_processed: u64,
 }
 
@@ -140,7 +168,7 @@ impl World {
     fn new(seed: u64) -> Self {
         World {
             now: SimTime::ZERO,
-            queue: BinaryHeap::new(),
+            queue: BinaryHeap::with_capacity(1024),
             seq: 0,
             nodes: Vec::new(),
             links: Vec::new(),
@@ -153,7 +181,9 @@ impl World {
             cancelled_timers: HashSet::new(),
             next_timer: 0,
             next_packet: 0,
+            seed,
             rng: SmallRng::seed_from_u64(seed),
+            fanout_mode: FanoutMode::Shared,
             events_processed: 0,
         }
     }
@@ -174,16 +204,25 @@ impl World {
     }
 
     /// Routes a packet that is present at `node` (either just sent by a local
-    /// agent or arriving from a link).
-    fn route_packet(&mut self, node: NodeId, packet: Packet) {
+    /// agent or arriving from a link), replicating it onto links as needed.
+    ///
+    /// A packet can match **at most one** local agent — unicast names a
+    /// single port, and multicast subscribers on one node are distinguished
+    /// by their (unique) port, of which the destination names one — so the
+    /// local delivery, if any, is returned instead of being pushed through
+    /// the event heap.  The dispatcher invokes the agent inline, which saves
+    /// one heap push+pop per delivered packet on the fan-out hot path;
+    /// `Context::send` still enqueues it (the sending agent is detached from
+    /// its slot while its callback runs, so a send-to-self cannot be
+    /// dispatched inline).
+    #[must_use]
+    fn route_packet(&mut self, node: NodeId, packet: Packet) -> Option<(AgentId, Packet)> {
         self.ensure_routes();
         match packet.dst {
             Dest::Unicast(addr) => {
                 if addr.node == node {
                     match self.nodes[node.0].agents.get(&addr.port) {
-                        Some(&agent) => {
-                            self.push_event(self.now, EventKind::Deliver { agent, packet });
-                        }
+                        Some(&agent) => return Some((agent, packet)),
                         None => self.stats.add("drops.no_listener", 1.0),
                     }
                 } else {
@@ -192,54 +231,71 @@ impl World {
                         None => self.stats.add("drops.no_route", 1.0),
                     }
                 }
+                None
             }
-            Dest::Multicast { group, port } => {
-                // Local delivery to subscribed agents (except the sender).
-                let local: Vec<AgentId> = self.nodes[node.0]
-                    .subscriptions
-                    .get(&group)
-                    .map(|set| {
-                        let mut v: Vec<AgentId> = set
-                            .iter()
-                            .copied()
-                            .filter(|a| {
-                                let addr = self.agent_addrs[a.0];
-                                addr.port == port && addr != packet.src
-                            })
-                            .collect();
-                        v.sort();
-                        v
-                    })
-                    .unwrap_or_default();
-                for agent in local {
-                    self.push_event(
-                        self.now,
-                        EventKind::Deliver {
-                            agent,
-                            packet: packet.clone(),
-                        },
-                    );
-                }
-                // Replicate along the distribution tree rooted at the source.
-                let out: Vec<LinkId> = {
-                    let tree =
+            Dest::Multicast { group, port } => match self.fanout_mode {
+                FanoutMode::Shared => {
+                    // Replicate along the distribution tree rooted at the
+                    // source; the out-link slice is shared, not copied, and
+                    // every replica shares the one `PacketData`.
+                    let out = Arc::clone(
                         self.multicast
-                            .tree(group, packet.src.node, &self.routes, &self.edges);
-                    tree.out_links(node).to_vec()
-                };
-                for link in out {
-                    self.offer_to_link(link, packet.clone());
+                            .tree(group, packet.src.node, &self.routes)
+                            .out_links(node),
+                    );
+                    for &link in out.iter() {
+                        self.offer_to_link(link, packet.clone());
+                    }
+                    // Local delivery: scan the sorted cached subscriber list
+                    // for the (unique) agent bound to the destination port —
+                    // no allocation, no sort.
+                    let subs = self.nodes[node.0].subscriber_cache.get(&group)?;
+                    let agent = subs.iter().copied().find(|a| {
+                        let addr = self.agent_addrs[a.0];
+                        addr.port == port && addr != packet.src
+                    })?;
+                    Some((agent, packet))
                 }
-            }
+                FanoutMode::CloneReference => {
+                    // Historical behaviour: copy the out-link list and hand
+                    // every replica its own `PacketData`, collect + sort the
+                    // subscribers per send, and use the rebuild-from-scratch
+                    // reference tree.
+                    let out: Vec<LinkId> = {
+                        let tree = self
+                            .multicast
+                            .ref_tree(group, packet.src.node, &self.routes);
+                        tree.out_links(node).to_vec()
+                    };
+                    for link in out {
+                        self.offer_to_link(link, packet.deep_clone());
+                    }
+                    let local: Vec<AgentId> = self.nodes[node.0]
+                        .subscriptions
+                        .get(&group)
+                        .map(|set| {
+                            let mut v: Vec<AgentId> = set
+                                .iter()
+                                .copied()
+                                .filter(|a| {
+                                    let addr = self.agent_addrs[a.0];
+                                    addr.port == port && addr != packet.src
+                                })
+                                .collect();
+                            v.sort();
+                            v
+                        })
+                        .unwrap_or_default();
+                    local.first().map(|&agent| (agent, packet.deep_clone()))
+                }
+            },
         }
     }
 
     fn offer_to_link(&mut self, link_id: LinkId, packet: Packet) {
-        let loss_uniform: f64 = self.rng.gen();
-        let queue_uniform: f64 = self.rng.gen();
         let now = self.now;
-        let link = &mut self.links[link_id.0];
-        match link.offer(packet, now, loss_uniform, queue_uniform) {
+        // Loss/RED randomness comes from the link's own stream.
+        match self.links[link_id.0].offer(packet, now) {
             LinkAccept::Accepted {
                 tx_complete_at: Some(t),
             } => self.push_event(t, EventKind::LinkTxComplete { link: link_id }),
@@ -248,6 +304,59 @@ impl World {
             } => {}
             LinkAccept::Dropped => self.stats.add("drops.link", 1.0),
         }
+    }
+
+    /// Subscribes `agent` (on `node`) to `group`, maintaining both the
+    /// subscription set and the sorted cache, and propagating the node-level
+    /// membership to the multicast state.
+    fn subscribe(&mut self, agent: AgentId, node: NodeId, group: GroupId) {
+        // Cached trees are updated in place on membership changes, so they
+        // must be built against the *current* topology: settle any pending
+        // topology change (which drops stale trees) before touching them —
+        // e.g. a node added after a tree was cached would otherwise be
+        // out of bounds for the tree's parent table.
+        self.ensure_routes();
+        let node_state = &mut self.nodes[node.0];
+        if !node_state
+            .subscriptions
+            .entry(group)
+            .or_default()
+            .insert(agent)
+        {
+            return; // already subscribed
+        }
+        let cache = node_state.subscriber_cache.entry(group).or_default();
+        let list = Arc::make_mut(cache);
+        if let Err(pos) = list.binary_search(&agent) {
+            list.insert(pos, agent);
+        }
+        self.multicast.join(group, node);
+        self.stats.add("multicast.agent_joins", 1.0);
+    }
+
+    /// Removes `agent`'s subscription to `group`; the node leaves the group
+    /// once no agent on it remains subscribed.
+    fn unsubscribe(&mut self, agent: AgentId, node: NodeId, group: GroupId) {
+        // See `subscribe`: in-place tree maintenance requires the topology
+        // to be settled first.
+        self.ensure_routes();
+        let node_state = &mut self.nodes[node.0];
+        let Some(set) = node_state.subscriptions.get_mut(&group) else {
+            return;
+        };
+        if !set.remove(&agent) {
+            return; // was not subscribed
+        }
+        if let Some(cache) = node_state.subscriber_cache.get_mut(&group) {
+            let list = Arc::make_mut(cache);
+            if let Ok(pos) = list.binary_search(&agent) {
+                list.remove(pos);
+            }
+        }
+        if set.is_empty() {
+            self.multicast.leave(group, node);
+        }
+        self.stats.add("multicast.agent_leaves", 1.0);
     }
 
     fn handle_link_tx_complete(&mut self, link_id: LinkId) {
@@ -289,12 +398,16 @@ impl Context<'_> {
     /// Sends a packet.  The packet's `id` and `sent_at` fields are stamped by
     /// the simulator; the source address is forced to this agent's address.
     pub fn send(&mut self, mut packet: Packet) {
-        packet.id = self.world.next_packet;
+        let id = self.world.next_packet;
         self.world.next_packet += 1;
-        packet.sent_at = self.world.now;
-        packet.src = self.addr;
+        packet.stamp(id, self.addr, self.world.now);
         let node = self.addr.node;
-        self.world.route_packet(node, packet);
+        if let Some((agent, packet)) = self.world.route_packet(node, packet) {
+            // Send-to-local-agent (possibly self): deliver through the event
+            // queue — the sender's own slot is empty while its callback runs.
+            self.world
+                .push_event(self.world.now, EventKind::Deliver { agent, packet });
+        }
     }
 
     /// Schedules a timer `delay` seconds from now; `token` is passed back to
@@ -323,24 +436,14 @@ impl Context<'_> {
     /// Subscribes this agent (and its node) to a multicast group.
     pub fn join_group(&mut self, group: GroupId) {
         let node = self.addr.node;
-        self.world.multicast.join(group, node);
-        self.world.nodes[node.0]
-            .subscriptions
-            .entry(group)
-            .or_default()
-            .insert(self.agent);
+        self.world.subscribe(self.agent, node, group);
     }
 
     /// Unsubscribes this agent from a multicast group.  The node leaves the
     /// group once no agent on it remains subscribed.
     pub fn leave_group(&mut self, group: GroupId) {
         let node = self.addr.node;
-        if let Some(set) = self.world.nodes[node.0].subscriptions.get_mut(&group) {
-            set.remove(&self.agent);
-            if set.is_empty() {
-                self.world.multicast.leave(group, node);
-            }
-        }
+        self.world.unsubscribe(self.agent, node, group);
     }
 
     /// Shared statistics registry.
@@ -348,10 +451,14 @@ impl Context<'_> {
         &mut self.world.stats
     }
 
-    /// A uniform random sample in `[0, 1)` from the simulation RNG.
+    /// A uniform random sample in `[0, 1)` from the simulation-global RNG.
     ///
     /// Agents that need heavier random machinery should own their own
-    /// deterministic RNG; this is a convenience for one-off draws.
+    /// deterministic RNG; this is a convenience for one-off draws.  Note
+    /// that the stream is **shared between all agents**: draws here
+    /// interleave in event order, so adding or reordering agents that use
+    /// `uniform` perturbs each other's samples (links are immune — their
+    /// loss/RED draws come from private per-link streams).
     pub fn uniform(&mut self) -> f64 {
         self.world.rng.gen()
     }
@@ -403,7 +510,11 @@ impl Simulator {
 
     /// Adds a unidirectional link and returns its id.
     ///
-    /// `bandwidth` is in bytes per second, `delay` in seconds.
+    /// `bandwidth` is in bytes per second, `delay` in seconds.  Both must be
+    /// positive and finite — a zero-bandwidth or zero-delay link silently
+    /// degenerates the simulation (infinite serialization time, zero-cost
+    /// routing metric), so such parameters are rejected here with a clear
+    /// panic instead.
     pub fn add_link(
         &mut self,
         from: NodeId,
@@ -414,10 +525,19 @@ impl Simulator {
     ) -> LinkId {
         assert!(from.0 < self.world.nodes.len(), "unknown from node");
         assert!(to.0 < self.world.nodes.len(), "unknown to node");
+        assert!(
+            bandwidth.is_finite() && bandwidth > 0.0,
+            "link bandwidth must be a positive, finite number of bytes/s, got {bandwidth}"
+        );
+        assert!(
+            delay.is_finite() && delay > 0.0,
+            "link delay must be a positive, finite number of seconds, got {delay}"
+        );
         let id = LinkId(self.world.links.len());
-        self.world
-            .links
-            .push(Link::new(id, from, to, bandwidth, delay, discipline));
+        let link_seed = stream_seed(self.world.seed, id.0 as u64);
+        self.world.links.push(Link::new(
+            id, from, to, bandwidth, delay, discipline, link_seed,
+        ));
         self.world.edges.push(Edge {
             link: id,
             from,
@@ -443,8 +563,10 @@ impl Simulator {
         (ab, ba)
     }
 
-    /// Sets the random-loss model of a link.
+    /// Sets the random-loss model of a link.  Rejects invalid parameters
+    /// (NaN or out-of-range drop probability) with a clear panic.
     pub fn set_link_loss(&mut self, link: LinkId, loss: LossModel) {
+        loss.validate();
         self.world.links[link.0].loss = loss;
     }
 
@@ -452,7 +574,10 @@ impl Simulator {
     /// RTT-responsiveness experiments).  Routing is recomputed because the
     /// delay is the routing metric.
     pub fn set_link_delay(&mut self, link: LinkId, delay: f64) {
-        assert!(delay >= 0.0, "delay must be non-negative");
+        assert!(
+            delay.is_finite() && delay > 0.0,
+            "link delay must be a positive, finite number of seconds, got {delay}"
+        );
         self.world.links[link.0].delay = delay;
         // `add_link` pushes one edge per link in the same order, so the edge
         // list is indexed by LinkId — no scan needed.
@@ -522,12 +647,27 @@ impl Simulator {
     /// (equivalent to the agent calling [`Context::join_group`] itself).
     pub fn join_group(&mut self, agent: AgentId, group: GroupId) {
         let addr = self.world.agent_addrs[agent.0];
-        self.world.multicast.join(group, addr.node);
-        self.world.nodes[addr.node.0]
-            .subscriptions
-            .entry(group)
-            .or_default()
-            .insert(agent);
+        self.world.subscribe(agent, addr.node, group);
+    }
+
+    /// Removes an agent's subscription from outside the simulation
+    /// (equivalent to the agent calling [`Context::leave_group`] itself).
+    pub fn leave_group(&mut self, agent: AgentId, group: GroupId) {
+        let addr = self.world.agent_addrs[agent.0];
+        self.world.unsubscribe(agent, addr.node, group);
+    }
+
+    /// Selects how multicast packets are replicated.  The default,
+    /// [`FanoutMode::Shared`], is the zero-copy path;
+    /// [`FanoutMode::CloneReference`] replays the historical clone-based
+    /// behaviour for equivalence tests and benchmarks.
+    pub fn set_fanout_mode(&mut self, mode: FanoutMode) {
+        self.world.fanout_mode = mode;
+    }
+
+    /// The current multicast replication mode.
+    pub fn fanout_mode(&self) -> FanoutMode {
+        self.world.fanout_mode
     }
 
     /// Runs the simulation until the event queue is empty or `until` is
@@ -572,7 +712,11 @@ impl Simulator {
                 self.with_agent(agent, |a, ctx| a.on_packet(ctx, packet));
             }
             EventKind::NodeArrival { node, packet } => {
-                self.world.route_packet(node, packet);
+                // Inline local delivery: a routed packet matches at most one
+                // agent, so no heap round-trip is needed.
+                if let Some((agent, packet)) = self.world.route_packet(node, packet) {
+                    self.with_agent(agent, |a, ctx| a.on_packet(ctx, packet));
+                }
             }
             EventKind::LinkTxComplete { link } => {
                 self.world.handle_link_tx_complete(link);
@@ -841,16 +985,8 @@ mod tests {
             )),
         );
         sim.run_until(SimTime::from_secs(0.55));
-        {
-            // Leave the group externally by clearing the subscription.
-            let addr = sim.agent_addr(listener);
-            sim.world.nodes[addr.node.0]
-                .subscriptions
-                .get_mut(&group)
-                .unwrap()
-                .remove(&listener);
-            sim.world.multicast.leave(group, addr.node);
-        }
+        // Leave the group externally.
+        sim.leave_group(listener, group);
         sim.run_until(SimTime::from_secs(3.0));
         let l: &GroupListener = sim.agent(listener).unwrap();
         // Only the packets sent during the first ~0.55 s arrived.
@@ -948,6 +1084,219 @@ mod tests {
             sim.link_stats(ab).dropped_loss + sim.link_stats(ab).delivered,
             2000
         );
+    }
+
+    /// Runs a fixed lossy-link workload and returns how many packets got
+    /// through.  With `extra_gear`, an unrelated link and a chatty agent are
+    /// added too — per-link RNG streams mean their draws must not perturb
+    /// the lossy link's drop pattern (before per-link streams, every offer
+    /// anywhere advanced one global RNG).
+    fn lossy_delivery_count(extra_gear: bool) -> usize {
+        let mut sim = Simulator::new(77);
+        let a = sim.add_node("a");
+        let b = sim.add_node("b");
+        let (ab, _) = sim.add_duplex_link(a, b, 1e7, 0.001, QueueDiscipline::drop_tail(1000));
+        sim.set_link_loss(ab, LossModel::Bernoulli { p: 0.3 });
+        if extra_gear {
+            let c = sim.add_node("c");
+            sim.add_duplex_link(a, c, 1e6, 0.002, QueueDiscipline::drop_tail(10));
+            let c_sink = Address::new(c, Port(3));
+            sim.add_agent(
+                c,
+                Port(3),
+                Box::new(Blaster::new(Dest::Unicast(c_sink), 1, 0, 1.0)),
+            );
+            sim.add_agent(
+                a,
+                Port(3),
+                Box::new(Blaster::new(Dest::Unicast(c_sink), 200, 50, 0.013)),
+            );
+        }
+        let sink_addr = Address::new(b, Port(1));
+        let sink = sim.add_agent(
+            b,
+            Port(1),
+            Box::new(Blaster::new(
+                Dest::Unicast(Address::new(a, Port(9))),
+                100,
+                0,
+                1.0,
+            )),
+        );
+        let _src = sim.add_agent(
+            a,
+            Port(1),
+            Box::new(Blaster::new(Dest::Unicast(sink_addr), 1000, 500, 0.002)),
+        );
+        sim.run_until(SimTime::from_secs(5.0));
+        sim.agent::<Blaster>(sink).unwrap().received.len()
+    }
+
+    #[test]
+    fn link_loss_pattern_is_independent_of_unrelated_traffic() {
+        let plain = lossy_delivery_count(false);
+        let with_extra = lossy_delivery_count(true);
+        assert!(
+            plain > 300 && plain < 400,
+            "≈70% of 500 expected, got {plain}"
+        );
+        assert_eq!(
+            plain, with_extra,
+            "adding unrelated links/agents must not perturb a link's loss pattern"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be a positive")]
+    fn zero_bandwidth_link_is_rejected() {
+        let mut sim = Simulator::new(1);
+        let a = sim.add_node("a");
+        let b = sim.add_node("b");
+        sim.add_link(a, b, 0.0, 0.01, QueueDiscipline::drop_tail(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be a positive")]
+    fn nan_bandwidth_link_is_rejected() {
+        let mut sim = Simulator::new(1);
+        let a = sim.add_node("a");
+        let b = sim.add_node("b");
+        sim.add_link(a, b, f64::NAN, 0.01, QueueDiscipline::drop_tail(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "delay must be a positive")]
+    fn zero_delay_link_is_rejected() {
+        let mut sim = Simulator::new(1);
+        let a = sim.add_node("a");
+        let b = sim.add_node("b");
+        sim.add_link(a, b, 1e6, 0.0, QueueDiscipline::drop_tail(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "delay must be a positive")]
+    fn negative_runtime_delay_is_rejected() {
+        let mut sim = Simulator::new(1);
+        let a = sim.add_node("a");
+        let b = sim.add_node("b");
+        let l = sim.add_link(a, b, 1e6, 0.01, QueueDiscipline::drop_tail(10));
+        sim.set_link_delay(l, -0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "loss probability must be a finite value in [0, 1]")]
+    fn nan_loss_is_rejected() {
+        let mut sim = Simulator::new(1);
+        let a = sim.add_node("a");
+        let b = sim.add_node("b");
+        let l = sim.add_link(a, b, 1e6, 0.01, QueueDiscipline::drop_tail(10));
+        sim.set_link_loss(l, LossModel::Bernoulli { p: f64::NAN });
+    }
+
+    /// Regression: a node added *after* a multicast tree was cached must be
+    /// able to join the group (trees are maintained in place, so a pending
+    /// topology change has to invalidate them before the membership update;
+    /// this used to index out of bounds in the tree's parent table).
+    #[test]
+    fn node_added_after_tree_build_can_join_group() {
+        let mut sim = Simulator::new(12);
+        let s = sim.add_node("s");
+        let r1 = sim.add_node("r1");
+        sim.add_duplex_link(s, r1, 1e6, 0.001, QueueDiscipline::drop_tail(10));
+        let group = GroupId(2);
+        let first = sim.add_agent(r1, Port(2), Box::new(GroupListener { group, received: 0 }));
+        sim.add_agent(
+            s,
+            Port(2),
+            Box::new(Blaster::new(
+                Dest::Multicast {
+                    group,
+                    port: Port(2),
+                },
+                100,
+                30,
+                0.1,
+            )),
+        );
+        // Run long enough that the distribution tree is built and cached.
+        sim.run_until(SimTime::from_secs(0.55));
+        // Grow the topology mid-run and subscribe an agent on the new node.
+        let r2 = sim.add_node("r2");
+        sim.add_duplex_link(s, r2, 1e6, 0.001, QueueDiscipline::drop_tail(10));
+        let late = sim.add_agent(r2, Port(2), Box::new(GroupListener { group, received: 0 }));
+        sim.join_group(late, group);
+        sim.run_until(SimTime::from_secs(3.0));
+        let l1: &GroupListener = sim.agent(first).unwrap();
+        let l2: &GroupListener = sim.agent(late).unwrap();
+        assert_eq!(l1.received, 30);
+        assert!(
+            l2.received >= 20,
+            "late node must receive the remaining packets, got {}",
+            l2.received
+        );
+    }
+
+    #[test]
+    fn multicast_fanout_shares_packet_data() {
+        struct Capture {
+            group: GroupId,
+            got: Vec<Packet>,
+        }
+        impl Agent for Capture {
+            fn start(&mut self, ctx: &mut Context<'_>) {
+                ctx.join_group(self.group);
+            }
+            fn on_packet(&mut self, _ctx: &mut Context<'_>, packet: Packet) {
+                self.got.push(packet);
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let build = |mode: FanoutMode| {
+            let mut sim = Simulator::new(9);
+            sim.set_fanout_mode(mode);
+            let s = sim.add_node("s");
+            let r = sim.add_node("r");
+            sim.add_duplex_link(s, r, 1e6, 0.001, QueueDiscipline::drop_tail(10));
+            let group = GroupId(4);
+            let cap = sim.add_agent(
+                r,
+                Port(2),
+                Box::new(Capture {
+                    group,
+                    got: Vec::new(),
+                }),
+            );
+            sim.add_agent(
+                s,
+                Port(2),
+                Box::new(Blaster::new(
+                    Dest::Multicast {
+                        group,
+                        port: Port(2),
+                    },
+                    100,
+                    2,
+                    0.1,
+                )),
+            );
+            sim.run_until(SimTime::from_secs(1.0));
+            let c: &Capture = sim.agent(cap).unwrap();
+            c.got.clone()
+        };
+        let shared = build(FanoutMode::Shared);
+        let cloned = build(FanoutMode::CloneReference);
+        assert_eq!(shared.len(), 2);
+        assert_eq!(cloned.len(), 2);
+        for (a, b) in shared.iter().zip(cloned.iter()) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.size, b.size);
+            assert_eq!(a.sent_at, b.sent_at);
+        }
     }
 
     #[test]

@@ -1,0 +1,208 @@
+//! Property test: the zero-copy shared fan-out delivers exactly the same
+//! (time, agent, packet id, payload) sequences as the clone-based reference
+//! path, over randomized star topologies with loss and membership churn.
+//!
+//! The reference path ([`FanoutMode::CloneReference`]) reproduces the seed
+//! implementation send for send: per-send subscriber collect + sort, one
+//! `PacketData` copy per replica, member-set clone per send, and
+//! distribution trees rebuilt from scratch on every membership change.  If
+//! the incremental trees, the cached subscriber lists or the shared packet
+//! handles ever diverge from it, this test fails.
+
+use std::any::Any;
+
+use netsim::prelude::*;
+use netsim::sim::Agent;
+use proptest::prelude::*;
+
+/// Payload carrying a recognizable sequence number.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Marked {
+    seq: u64,
+}
+
+/// Joins `group`, records every delivery, and optionally leaves/rejoins on a
+/// fixed schedule (toggling membership every `toggle_every` seconds).
+struct RecordingMember {
+    group: GroupId,
+    toggle_every: Option<f64>,
+    joined: bool,
+    log: Vec<(SimTime, u64, u64, u32)>, // (time, packet id, payload seq, size)
+}
+
+impl Agent for RecordingMember {
+    fn start(&mut self, ctx: &mut Context<'_>) {
+        ctx.join_group(self.group);
+        self.joined = true;
+        if let Some(t) = self.toggle_every {
+            ctx.schedule(t, 0);
+        }
+    }
+    fn on_timer(&mut self, ctx: &mut Context<'_>, _token: u64) {
+        if self.joined {
+            ctx.leave_group(self.group);
+        } else {
+            ctx.join_group(self.group);
+        }
+        self.joined = !self.joined;
+        if let Some(t) = self.toggle_every {
+            ctx.schedule(t, 0);
+        }
+    }
+    fn on_packet(&mut self, ctx: &mut Context<'_>, packet: Packet) {
+        let seq = packet
+            .payload
+            .downcast_ref::<Marked>()
+            .map(|m| m.seq)
+            .unwrap_or(u64::MAX);
+        self.log.push((ctx.now(), packet.id, seq, packet.size));
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Multicast source sending `count` marked packets at a fixed interval.
+struct MarkedSource {
+    dst: Dest,
+    count: u64,
+    interval: f64,
+    sent: u64,
+}
+
+impl Agent for MarkedSource {
+    fn start(&mut self, ctx: &mut Context<'_>) {
+        if self.count > 0 {
+            ctx.schedule(0.01, 0);
+        }
+    }
+    fn on_timer(&mut self, ctx: &mut Context<'_>, _token: u64) {
+        let pkt = Packet::new(
+            ctx.addr(),
+            self.dst,
+            400 + (self.sent % 3) as u32 * 300,
+            FlowId(1),
+            Payload::new(Marked { seq: self.sent }),
+        );
+        ctx.send(pkt);
+        self.sent += 1;
+        if self.sent < self.count {
+            ctx.schedule(self.interval, 0);
+        }
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// One delivery record: (time, packet id, payload seq, size).
+type DeliveryLog = Vec<(SimTime, u64, u64, u32)>;
+
+/// Runs the randomized scenario in the given mode and returns, per receiver,
+/// the full delivery log plus the aggregate link statistics.
+#[allow(clippy::too_many_arguments)]
+fn run_scenario(
+    mode: FanoutMode,
+    seed: u64,
+    receivers: usize,
+    churners: usize,
+    loss_percent: u64,
+    queue_len: usize,
+    packet_count: u64,
+    toggle_every_ms: u64,
+) -> (Vec<DeliveryLog>, u64, u64) {
+    let mut sim = Simulator::new(seed);
+    sim.set_fanout_mode(mode);
+    let legs: Vec<StarLeg> = (0..receivers)
+        .map(|i| {
+            let mut leg = StarLeg::clean(
+                50_000.0 + 10_000.0 * (i % 4) as f64,
+                0.005 + 0.002 * (i % 3) as f64,
+            )
+            .with_queue(QueueDiscipline::drop_tail(queue_len));
+            if i % 2 == 0 && loss_percent > 0 {
+                leg = leg.with_downstream_loss(loss_percent as f64 / 100.0);
+            }
+            leg
+        })
+        .collect();
+    let star = star(&mut sim, &StarConfig::default(), &legs);
+    let group = GroupId(3);
+    let mut ids = Vec::new();
+    for (i, &node) in star.receivers.iter().enumerate() {
+        let toggle_every = if i < churners {
+            Some(0.05 + toggle_every_ms as f64 / 1000.0 + 0.013 * i as f64)
+        } else {
+            None
+        };
+        ids.push(sim.add_agent(
+            node,
+            Port(7),
+            Box::new(RecordingMember {
+                group,
+                toggle_every,
+                joined: false,
+                log: Vec::new(),
+            }),
+        ));
+    }
+    sim.add_agent(
+        star.sender,
+        Port(7),
+        Box::new(MarkedSource {
+            dst: Dest::Multicast {
+                group,
+                port: Port(7),
+            },
+            count: packet_count,
+            interval: 0.02,
+            sent: 0,
+        }),
+    );
+    sim.run_until(SimTime::from_secs(5.0));
+    let logs = ids
+        .iter()
+        .map(|&id| sim.agent::<RecordingMember>(id).unwrap().log.clone())
+        .collect();
+    let mut delivered = 0;
+    let mut dropped = 0;
+    for l in 0..receivers {
+        let stats = sim.link_stats(star.downstream_links[l]);
+        delivered += stats.delivered;
+        dropped += stats.dropped_loss + stats.dropped_queue;
+    }
+    (logs, delivered, dropped)
+}
+
+proptest! {
+    #[test]
+    fn shared_and_clone_fanout_deliver_identical_sequences(
+        seed in 0u64..1_000_000,
+        receivers in 1usize..14,
+        churn_fraction in 0usize..=2,
+        loss_percent in 0u64..30,
+        queue_len in 2usize..20,
+        packet_count in 1u64..60,
+        toggle_every_ms in 0u64..400,
+    ) {
+        let churners = receivers * churn_fraction / 2;
+        let shared = run_scenario(
+            FanoutMode::Shared,
+            seed, receivers, churners, loss_percent, queue_len, packet_count, toggle_every_ms,
+        );
+        let clone = run_scenario(
+            FanoutMode::CloneReference,
+            seed, receivers, churners, loss_percent, queue_len, packet_count, toggle_every_ms,
+        );
+        prop_assert_eq!(&shared.0, &clone.0,
+            "delivery sequences diverged between shared and clone-based fan-out");
+        prop_assert_eq!(shared.1, clone.1, "delivered link counts diverged");
+        prop_assert_eq!(shared.2, clone.2, "drop counts diverged");
+    }
+}

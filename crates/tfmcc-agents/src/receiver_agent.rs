@@ -6,7 +6,8 @@ use netsim::packet::{Address, Dest, FlowId, GroupId, Packet, Payload};
 use netsim::sim::{Agent, Context, TimerId};
 use netsim::stats::ThroughputMeter;
 
-use tfmcc_proto::packets::{DataPacket, FeedbackPacket};
+use tfmcc_proto::config::TfmccConfig;
+use tfmcc_proto::packets::{DataPacket, FeedbackPacket, ReceiverId};
 use tfmcc_proto::receiver::TfmccReceiver;
 
 /// Timer token for the (single) protocol feedback timer; the generation is
@@ -22,13 +23,24 @@ const LEAVE_TOKEN: u64 = 2;
 /// protocol receiver, transmits the resulting reports to the sender as
 /// unicast packets and keeps the simulator timer in sync with the receiver's
 /// single feedback deadline.
+///
+/// A receiver can also **churn**: repeatedly stay in the session for a
+/// while, leave (announcing the departure), and rejoin later with fresh
+/// protocol state — the workload of the `fig22_churn` scenario.
 pub struct TfmccReceiverAgent {
     receiver: TfmccReceiver,
+    id: ReceiverId,
+    config: TfmccConfig,
     sender_addr: Address,
     group: GroupId,
     flow: FlowId,
     join_at: f64,
     leave_at: Option<f64>,
+    /// `(on_secs, off_secs)`: after each join, leave `on_secs` later and
+    /// rejoin `off_secs` after that, indefinitely.
+    churn: Option<(f64, f64)>,
+    /// Number of join/leave transitions performed so far.
+    membership_changes: u64,
     left: bool,
     meter: ThroughputMeter,
     armed: Option<(TimerId, f64)>,
@@ -36,21 +48,28 @@ pub struct TfmccReceiverAgent {
 }
 
 impl TfmccReceiverAgent {
-    /// Creates the agent.  Reports are unicast to `sender_addr`; received
-    /// data is attributed to `flow` in the local throughput meter.
+    /// Creates the agent; the protocol receiver is built from `id` and
+    /// `config` (and rebuilt from them on every churn rejoin).  Reports are
+    /// unicast to `sender_addr`; received data is attributed to `flow` in
+    /// the local throughput meter.
     pub fn new(
-        receiver: TfmccReceiver,
+        id: ReceiverId,
+        config: TfmccConfig,
         sender_addr: Address,
         group: GroupId,
         flow: FlowId,
     ) -> Self {
         TfmccReceiverAgent {
-            receiver,
+            receiver: TfmccReceiver::new(id, config.clone()),
+            id,
+            config,
             sender_addr,
             group,
             flow,
             join_at: 0.0,
             leave_at: None,
+            churn: None,
+            membership_changes: 0,
             left: false,
             meter: ThroughputMeter::new(1.0),
             armed: None,
@@ -66,10 +85,37 @@ impl TfmccReceiverAgent {
     }
 
     /// Leaves the session at `t` seconds of simulation time, announcing the
-    /// departure to the sender.
+    /// departure to the sender.  Mutually exclusive with
+    /// [`TfmccReceiverAgent::churning`].
     pub fn leaving_at(mut self, t: f64) -> Self {
+        assert!(
+            self.churn.is_none(),
+            "leaving_at and churning are exclusive"
+        );
         self.leave_at = Some(t);
         self
+    }
+
+    /// Makes the receiver churn: after each join it stays for `on_secs`,
+    /// leaves (announcing the departure to the sender), waits `off_secs`
+    /// and rejoins with fresh protocol state.  Mutually exclusive with
+    /// [`TfmccReceiverAgent::leaving_at`].
+    pub fn churning(mut self, on_secs: f64, off_secs: f64) -> Self {
+        assert!(
+            on_secs > 0.0 && off_secs > 0.0,
+            "churn on/off periods must be positive, got on={on_secs} off={off_secs}"
+        );
+        assert!(
+            self.leave_at.is_none(),
+            "leaving_at and churning are exclusive"
+        );
+        self.churn = Some((on_secs, off_secs));
+        self
+    }
+
+    /// Number of join/leave transitions performed so far.
+    pub fn membership_changes(&self) -> u64 {
+        self.membership_changes
     }
 
     /// Uses `bin`-second bins for the local throughput meter.
@@ -135,18 +181,35 @@ impl Agent for TfmccReceiverAgent {
 
     fn on_timer(&mut self, ctx: &mut Context<'_>, token: u64) {
         if token == JOIN_TOKEN {
-            if !self.left {
-                ctx.join_group(self.group);
+            if self.left {
+                if self.churn.is_none() {
+                    // One-shot leave already happened (leave_at < join_at):
+                    // the receiver never enters the session.
+                    return;
+                }
+                // Churn rejoin: start over with fresh protocol state, as a
+                // receiver re-entering the session would.
+                self.receiver = TfmccReceiver::new(self.id, self.config.clone());
+                self.left = false;
+            }
+            ctx.join_group(self.group);
+            self.membership_changes += 1;
+            if let Some((on_secs, _)) = self.churn {
+                ctx.schedule(on_secs, LEAVE_TOKEN);
             }
             return;
         }
         if token == LEAVE_TOKEN {
             self.left = true;
             ctx.leave_group(self.group);
+            self.membership_changes += 1;
             let fb = self.receiver.leave(ctx.now().as_secs());
             self.send_feedback(ctx, fb);
             if let Some((id, _)) = self.armed.take() {
                 ctx.cancel(id);
+            }
+            if let Some((_, off_secs)) = self.churn {
+                ctx.schedule(off_secs, JOIN_TOKEN);
             }
             return;
         }

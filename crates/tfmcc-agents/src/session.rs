@@ -5,7 +5,6 @@ use netsim::sim::Simulator;
 
 use tfmcc_proto::config::TfmccConfig;
 use tfmcc_proto::packets::ReceiverId;
-use tfmcc_proto::receiver::TfmccReceiver;
 use tfmcc_proto::sender::TfmccSender;
 
 use crate::receiver_agent::TfmccReceiverAgent;
@@ -20,6 +19,9 @@ pub struct ReceiverSpec {
     pub join_at: f64,
     /// Time at which it leaves again (never, if `None`).
     pub leave_at: Option<f64>,
+    /// `(on_secs, off_secs)` churn cycle: repeatedly stay in the session
+    /// for `on_secs`, leave, and rejoin `off_secs` later.
+    pub churn: Option<(f64, f64)>,
 }
 
 impl ReceiverSpec {
@@ -29,6 +31,7 @@ impl ReceiverSpec {
             node,
             join_at: 0.0,
             leave_at: None,
+            churn: None,
         }
     }
 
@@ -38,12 +41,20 @@ impl ReceiverSpec {
             node,
             join_at,
             leave_at: None,
+            churn: None,
         }
     }
 
     /// Adds a leave time.
     pub fn leaving_at(mut self, t: f64) -> Self {
         self.leave_at = Some(t);
+        self
+    }
+
+    /// Makes the receiver churn: after each join it stays `on_secs`, leaves,
+    /// waits `off_secs` and rejoins.
+    pub fn churning(mut self, on_secs: f64, off_secs: f64) -> Self {
+        self.churn = Some((on_secs, off_secs));
         self
     }
 }
@@ -123,12 +134,20 @@ impl TfmccSessionBuilder {
 
         let mut receiver_ids = Vec::with_capacity(receivers.len());
         for (i, spec) in receivers.iter().enumerate() {
-            let proto = TfmccReceiver::new(ReceiverId(i as u64 + 1), self.config.clone());
-            let mut agent = TfmccReceiverAgent::new(proto, sender_addr, self.group, self.flow)
-                .with_meter_bin(self.meter_bin)
-                .joining_at(spec.join_at);
+            let mut agent = TfmccReceiverAgent::new(
+                ReceiverId(i as u64 + 1),
+                self.config.clone(),
+                sender_addr,
+                self.group,
+                self.flow,
+            )
+            .with_meter_bin(self.meter_bin)
+            .joining_at(spec.join_at);
             if let Some(t) = spec.leave_at {
                 agent = agent.leaving_at(t);
+            }
+            if let Some((on_secs, off_secs)) = spec.churn {
+                agent = agent.churning(on_secs, off_secs);
             }
             let id = sim.add_agent(spec.node, self.data_port, Box::new(agent));
             receiver_ids.push(id);
@@ -309,6 +328,41 @@ mod tests {
             rtt < 0.3,
             "CLR RTT estimate still near the initial value: {rtt}"
         );
+    }
+
+    /// A churning receiver must repeatedly leave and rejoin, receive data in
+    /// every on-period, and not kill the session for a persistent receiver.
+    #[test]
+    fn churning_receiver_cycles_membership() {
+        let mut sim = Simulator::new(106);
+        let legs = vec![
+            StarLeg::clean(1_250_000.0, 0.02),
+            StarLeg::clean(1_250_000.0, 0.02),
+        ];
+        let star = star(&mut sim, &StarConfig::default(), &legs);
+        let specs = vec![
+            ReceiverSpec::always(star.receivers[0]),
+            ReceiverSpec::joining_at(star.receivers[1], 5.0).churning(10.0, 5.0),
+        ];
+        let session = TfmccSessionBuilder::default().build(&mut sim, star.sender, &specs);
+        sim.run_until(SimTime::from_secs(120.0));
+        let churner = session.receiver_agent(&sim, 1);
+        // Joins at 5, then leave/join every 10/5 s: ≥ 14 transitions in 115 s.
+        assert!(
+            churner.membership_changes() >= 10,
+            "churner only made {} membership changes",
+            churner.membership_changes()
+        );
+        // It received data during on-periods...
+        assert!(churner.meter().total_bytes() > 0);
+        // ...and the persistent receiver kept a healthy rate overall.
+        let persistent = session.receiver_throughput(&sim, 0, 60.0, 115.0);
+        assert!(
+            persistent > 20_000.0,
+            "persistent receiver starved: {persistent} B/s"
+        );
+        // The simulator registered the churn in its multicast counters.
+        assert!(sim.stats().counter("multicast.agent_leaves") >= 5.0);
     }
 
     /// A receiver joining behind a slow tail circuit must become the CLR and

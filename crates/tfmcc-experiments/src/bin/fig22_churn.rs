@@ -1,0 +1,12 @@
+//! Figure 22 (beyond the paper): TFMCC under massive receiver churn, on the
+//! parallel sweep runner.  Receiver sets sweep up to 10⁵ at paper scale.
+//!
+//! Shared CLI: `--quick` / `--paper` select the scale (overridden by the
+//! `TFMCC_SCALE` environment variable), `--threads N` sizes the sweep
+//! executor (results are byte-identical for any N), `--out FILE` writes the
+//! figure as deterministic JSON and `--bench-out FILE` writes the run's
+//! timing trajectory.
+
+fn main() {
+    tfmcc_experiments::cli::figure_main(tfmcc_experiments::churn_figs::fig22_churn);
+}

@@ -1,0 +1,137 @@
+//! The multicast fan-out microbench workload, shared between the Criterion
+//! bench (`bench/benches/fanout_microbench.rs`) and the `BENCH_fanout.json`
+//! artifact written by `sweep_bench`.
+//!
+//! The workload is a 10⁴-receiver star behind congested tail circuits: a
+//! CBR source multicasts at 4× the per-leg capacity while a tenth of the
+//! receivers continuously toggle their group membership.  Run once in
+//! [`FanoutMode::Shared`] (the zero-copy fan-out) and once in
+//! [`FanoutMode::CloneReference`] (the seed's clone-based path, including
+//! its per-send member-set clone and rebuild-from-scratch trees), the pair
+//! of timings is the before/after measurement for the zero-copy refactor.
+
+use std::time::Instant;
+
+use netsim::prelude::*;
+
+/// Receiver count of the standard workload.
+pub const STANDARD_RECEIVERS: usize = 10_000;
+
+/// Simulated seconds of the standard workload.
+pub const STANDARD_SIM_SECS: f64 = 2.0;
+
+/// Runs the fan-out workload and returns `(wall_seconds, packets_delivered,
+/// events_processed)`.
+pub fn run_fanout_workload(n: usize, mode: FanoutMode, sim_secs: f64) -> (f64, u64, u64) {
+    let mut sim = Simulator::new(4242);
+    sim.set_fanout_mode(mode);
+    // Congested 100 kbit/s tail circuits with tiny queues: the fan-out and
+    // membership machinery dominate, not payload serialization.
+    let legs: Vec<StarLeg> = (0..n)
+        .map(|i| {
+            StarLeg::clean(12_500.0, 0.01 + 0.0005 * (i % 20) as f64)
+                .with_queue(QueueDiscipline::drop_tail(4))
+        })
+        .collect();
+    let star = star(&mut sim, &StarConfig::default(), &legs);
+    let group = GroupId(1);
+    let mut sinks = Vec::with_capacity(n);
+    for (i, &node) in star.receivers.iter().enumerate() {
+        let mut sink = GroupSink::new(group, 1.0);
+        if i % 10 == 1 {
+            // A tenth of the receivers churn on sub-second staggered cycles.
+            sink = sink.churning(0.1 + 0.02 * (i % 7) as f64);
+        }
+        sinks.push(sim.add_agent(node, Port(5), Box::new(sink)));
+    }
+    // 500 kbit/s offered into 100 kbit/s legs: every send exercises the full
+    // 10⁴-link replication fan-out.
+    sim.add_agent(
+        star.sender,
+        Port(5),
+        Box::new(CbrSource::new(
+            Dest::Multicast {
+                group,
+                port: Port(5),
+            },
+            FlowId(1),
+            1000,
+            500_000.0,
+            0.0,
+        )),
+    );
+    let started = Instant::now();
+    sim.run_until(SimTime::from_secs(sim_secs));
+    let wall = started.elapsed().as_secs_f64();
+    let delivered: u64 = sinks
+        .iter()
+        .map(|&s| sim.agent::<GroupSink>(s).unwrap().packets())
+        .sum();
+    (wall, delivered, sim.events_processed())
+}
+
+/// The paired measurement: the same workload in both fan-out modes.
+#[derive(Debug, Clone, Copy)]
+pub struct FanoutMeasurement {
+    /// Receiver count of the workload.
+    pub receivers: usize,
+    /// Simulated seconds per run.
+    pub sim_secs: f64,
+    /// Wall seconds of the zero-copy shared fan-out.
+    pub shared_secs: f64,
+    /// Wall seconds of the clone-based reference fan-out.
+    pub clone_secs: f64,
+    /// Packets delivered to receivers (identical in both modes).
+    pub delivered: u64,
+}
+
+impl FanoutMeasurement {
+    /// Shared-mode delivery throughput divided by clone-mode throughput.
+    pub fn speedup(&self) -> f64 {
+        self.clone_secs / self.shared_secs.max(1e-12)
+    }
+}
+
+/// Measures the workload at receiver count `n` in both modes, verifying the
+/// two modes delivered identical packet counts.
+pub fn measure_fanout(n: usize, sim_secs: f64) -> FanoutMeasurement {
+    let (shared_secs, shared_delivered, shared_events) =
+        run_fanout_workload(n, FanoutMode::Shared, sim_secs);
+    let (clone_secs, clone_delivered, clone_events) =
+        run_fanout_workload(n, FanoutMode::CloneReference, sim_secs);
+    assert_eq!(
+        shared_delivered, clone_delivered,
+        "fan-out modes disagree on delivered packets"
+    );
+    assert_eq!(
+        shared_events, clone_events,
+        "fan-out modes disagree on event counts"
+    );
+    FanoutMeasurement {
+        receivers: n,
+        sim_secs,
+        shared_secs,
+        clone_secs,
+        delivered: shared_delivered,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A scaled-down measurement: the two modes must agree on delivery.
+    /// Wall-clock ordering is only sanity-checked very loosely — timing
+    /// assertions in unit tests go red on loaded machines; the real ≥2×
+    /// claim lives in the bench-smoke `BENCH_fanout.json` artifact.
+    #[test]
+    fn fanout_modes_agree() {
+        let m = measure_fanout(2000, 1.0);
+        assert!(m.delivered > 0, "workload delivered nothing");
+        assert!(
+            m.speedup() > 0.5,
+            "zero-copy fan-out catastrophically slower than the clone reference: {:.2}x",
+            m.speedup()
+        );
+    }
+}

@@ -18,12 +18,15 @@
 //! | 9, 10, 18, 19 (fairness)              | [`fairness_figs`] |
 //! | 11, 13, 20, 21 (responsiveness)       | [`responsiveness_figs`] |
 //! | 12, 14, 15, 16 (startup, late join)   | [`startup_figs`] |
+//! | 22 (receiver churn, beyond the paper) | [`churn_figs`] |
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod churn_figs;
 pub mod cli;
 pub mod fairness_figs;
+pub mod fanout_bench;
 pub mod feedback_figs;
 pub mod output;
 pub mod responsiveness_figs;

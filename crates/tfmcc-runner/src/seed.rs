@@ -10,6 +10,11 @@
 /// Uses the splitmix64 finalizer over `base + (index + 1) · φ64` (the 64-bit
 /// golden-ratio constant).  splitmix64 is a bijection of the mixed input, so
 /// distinct indices of the same sweep always map to distinct seeds.
+///
+/// This is the same derivation as `netsim::rng::stream_seed` (the simulator
+/// uses it for per-link RNG streams); the two are kept byte-identical by a
+/// cross-crate agreement test below rather than a dependency edge, so the
+/// generic executor stays buildable without the simulator.
 pub fn derive_seed(base: u64, index: u64) -> u64 {
     let mut z = base.wrapping_add(index.wrapping_add(1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
@@ -47,6 +52,21 @@ mod tests {
     fn different_bases_give_different_streams() {
         for index in 0..100u64 {
             assert_ne!(derive_seed(1, index), derive_seed(2, index));
+        }
+    }
+
+    #[test]
+    fn agrees_with_netsim_stream_seed() {
+        // The workspace has exactly one stream-derivation contract; if one
+        // side's constants ever change, this cross-crate check goes red even
+        // when each crate's own snapshots were updated.
+        for base in [0u64, 7, 909, u64::MAX] {
+            for index in [0u64, 1, 2, 1000, u64::MAX / 2] {
+                assert_eq!(
+                    derive_seed(base, index),
+                    netsim::rng::stream_seed(base, index)
+                );
+            }
         }
     }
 }

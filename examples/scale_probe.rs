@@ -1,0 +1,67 @@
+//! Scale probe: how large a multicast fan-out can one simulation hold?
+//!
+//! Builds an N-leg star (one node, two links and one receiver agent per
+//! leg), multicasts CBR traffic into it, and reports build time, run time
+//! and the event/delivery counts.  Optionally a tenth of the receivers
+//! churn (leave and rejoin the group on sub-second cycles), and the fan-out
+//! can be switched to the clone-based reference path for comparison.
+//!
+//! ```text
+//! cargo run --release --example scale_probe -- [RECEIVERS] [shared|clone] [churn]
+//! cargo run --release --example scale_probe -- 100000 shared churn
+//! ```
+
+use netsim::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(10_000);
+    let mode = match args.next().as_deref() {
+        Some("clone") => FanoutMode::CloneReference,
+        _ => FanoutMode::Shared,
+    };
+    let churn = args.next().as_deref() == Some("churn");
+
+    let t0 = Instant::now();
+    let mut sim = Simulator::new(1);
+    sim.set_fanout_mode(mode);
+    let legs: Vec<StarLeg> = (0..n).map(|_| StarLeg::clean(125_000.0, 0.02)).collect();
+    let st = star(&mut sim, &StarConfig::default(), &legs);
+    let group = GroupId(1);
+    let mut sinks = Vec::with_capacity(n);
+    for (i, &r) in st.receivers.iter().enumerate() {
+        let mut sink = GroupSink::new(group, 1.0);
+        if churn && i % 10 == 1 {
+            sink = sink.churning(0.25 + (i % 7) as f64 * 0.05);
+        }
+        sinks.push(sim.add_agent(r, Port(5), Box::new(sink)));
+    }
+    sim.add_agent(
+        st.sender,
+        Port(5),
+        Box::new(CbrSource::new(
+            Dest::Multicast {
+                group,
+                port: Port(5),
+            },
+            FlowId(1),
+            1000,
+            50_000.0,
+            0.0,
+        )),
+    );
+    let built = t0.elapsed();
+
+    let t1 = Instant::now();
+    sim.run_until(SimTime::from_secs(10.0));
+    let ran = t1.elapsed();
+    let delivered: u64 = sinks
+        .iter()
+        .map(|&s| sim.agent::<GroupSink>(s).unwrap().packets())
+        .sum();
+    println!(
+        "n={n} mode={mode:?} churn={churn} build={built:?} run={ran:?} events={} delivered={delivered}",
+        sim.events_processed()
+    );
+}
