@@ -1,0 +1,61 @@
+//! Event-core microbench: the hold-model event-queue workload of a
+//! 10⁵-receiver churn simulation (pop → reschedule, with decoy-timer
+//! cancellation churn) run against the binary-heap and calendar-queue
+//! schedulers.  The `event_core_100k/*` pair is the headline comparison —
+//! the regime where the calendar queue's amortized O(1) schedule/pop beats
+//! the heap's O(log n) sift; the `event_core_10k/*` pair tracks the
+//! mid-size behaviour.  `sweep_bench` writes the authoritative trajectory
+//! to `BENCH_events.json`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use netsim::events::SchedulerKind;
+use tfmcc_experiments::event_bench::{run_event_workload, STANDARD_PENDING};
+
+/// Operations per bench iteration; enough to cover several full queue
+/// turnovers (and so several calendar width re-estimates) at 10⁵ pending.
+const BENCH_OPS: u64 = 300_000;
+
+fn bench_event_core_100k(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_core_100k");
+    group.bench_function("heap", |b| {
+        b.iter(|| {
+            black_box(run_event_workload(
+                STANDARD_PENDING,
+                BENCH_OPS,
+                SchedulerKind::Heap,
+            ))
+        })
+    });
+    group.bench_function("calendar", |b| {
+        b.iter(|| {
+            black_box(run_event_workload(
+                STANDARD_PENDING,
+                BENCH_OPS,
+                SchedulerKind::Calendar,
+            ))
+        })
+    });
+    group.finish();
+}
+
+fn bench_event_core_10k(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_core_10k");
+    group.bench_function("heap", |b| {
+        b.iter(|| black_box(run_event_workload(10_000, BENCH_OPS, SchedulerKind::Heap)))
+    });
+    group.bench_function("calendar", |b| {
+        b.iter(|| {
+            black_box(run_event_workload(
+                10_000,
+                BENCH_OPS,
+                SchedulerKind::Calendar,
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_event_core_100k, bench_event_core_10k);
+criterion_main!(benches);

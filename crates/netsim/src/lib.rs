@@ -12,9 +12,32 @@
 //! * measurement plumbing ([`stats::ThroughputMeter`],
 //!   [`stats::StatsRegistry`]) for pulling figures out of a finished run.
 //!
+//! # Module map
+//!
+//! | Module | What lives there |
+//! |---|---|
+//! | [`events`] | The event-queue core: the [`events::EventQueue`] abstraction and its binary-heap and calendar-queue implementations, selectable per simulation ([`events::SchedulerKind`], env `TFMCC_SCHEDULER`) |
+//! | [`sim`] | The [`sim::Simulator`]: world state, agent dispatch, the timer table, and the [`sim::Context`] agents act through |
+//! | [`packet`] | Zero-copy [`packet::Packet`] handles (`Arc`-backed), addresses, destinations and ids |
+//! | [`link`] | Links: serialization, propagation, queue disciplines, loss models, per-link statistics |
+//! | [`queue`] | Drop-tail and RED queue disciplines |
+//! | [`routing`] | Lazy per-destination unicast routing and incremental source-rooted multicast trees |
+//! | [`rng`] | Deterministic per-stream seed derivation (`stream_seed`) for link-private RNG streams |
+//! | [`apps`] | Reusable traffic endpoints: CBR source, sinks, churning group members |
+//! | [`stats`] | Counters and throughput meters |
+//! | [`time`] | [`time::SimTime`], the totally ordered simulation clock |
+//! | [`topology`] | Star and dumbbell topology builders used by the experiments |
+//!
+//! # Determinism
+//!
 //! The simulator is single-threaded and deterministic: the same seed and the
 //! same agent behaviour reproduce the same run bit for bit, which the
-//! experiment harness relies on.
+//! experiment harness relies on.  Determinism survives the choice of event
+//! scheduler — both [`events::EventQueue`] implementations pop events in
+//! identical `(time, seq)` order (see the `# Determinism` sections on
+//! [`events::HeapQueue`] and [`events::CalendarQueue`]), and link loss/RED
+//! draws come from per-link RNG streams ([`rng`]) that unrelated traffic
+//! cannot perturb.
 //!
 //! # Example
 //!
@@ -39,6 +62,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod apps;
+pub mod events;
 pub mod link;
 pub mod packet;
 pub mod queue;
@@ -52,12 +76,13 @@ pub mod topology;
 /// Convenient glob import of the most commonly used types.
 pub mod prelude {
     pub use crate::apps::{CbrSource, GroupSink, Sink};
+    pub use crate::events::SchedulerKind;
     pub use crate::link::{LinkStats, LossModel};
     pub use crate::packet::{
         Address, AgentId, Dest, FlowId, GroupId, LinkId, NodeId, Packet, PacketData, Payload, Port,
     };
     pub use crate::queue::{QueueDiscipline, RedConfig};
-    pub use crate::sim::{Agent, Context, FanoutMode, Simulator, TimerId};
+    pub use crate::sim::{Agent, Context, FanoutMode, SchedulerDiagnostics, Simulator, TimerId};
     pub use crate::stats::{StatsRegistry, ThroughputMeter};
     pub use crate::time::SimTime;
     pub use crate::topology::{

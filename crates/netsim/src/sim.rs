@@ -1,13 +1,17 @@
-//! The discrete-event simulator core: event queue, world state, the
-//! [`Agent`] trait protocol endpoints implement, and the [`Context`] handed
-//! to agents for interacting with the simulated network.
+//! The discrete-event simulator core: world state, the [`Agent`] trait
+//! protocol endpoints implement, and the [`Context`] handed to agents for
+//! interacting with the simulated network.  The event queue itself lives in
+//! [`crate::events`] behind the [`EventQueue`] abstraction; this module
+//! drives it and owns the timer table that makes cancellation O(1) and
+//! bounded.
 //!
 //! # Structure
 //!
 //! The [`Simulator`] owns two halves:
 //!
-//! * the [`World`]: event queue, nodes, links, routing, multicast state,
-//!   statistics and the RNG used for link loss / RED;
+//! * the [`World`]: event queue (heap or calendar, see [`SchedulerKind`]),
+//!   nodes, links, routing, multicast state, statistics and the RNG used
+//!   for link loss / RED;
 //! * the agents: boxed [`Agent`] trait objects attached to `(node, port)`
 //!   addresses.
 //!
@@ -17,13 +21,13 @@
 //! within their callbacks without aliasing issues.
 
 use std::any::Any;
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
+use crate::events::{EventQueue, SchedulerKind};
 use crate::link::{Link, LinkAccept, LinkStats, LossModel};
 use crate::packet::{Address, AgentId, Dest, GroupId, LinkId, NodeId, Packet, Port};
 use crate::queue::QueueDiscipline;
@@ -104,30 +108,6 @@ enum EventKind {
     },
 }
 
-#[derive(Debug)]
-struct QueuedEvent {
-    time: SimTime,
-    seq: u64,
-    kind: EventKind,
-}
-
-impl PartialEq for QueuedEvent {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl Eq for QueuedEvent {}
-impl Ord for QueuedEvent {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.time.cmp(&other.time).then(self.seq.cmp(&other.seq))
-    }
-}
-impl PartialOrd for QueuedEvent {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
 #[derive(Debug, Default)]
 struct Node {
     #[allow(dead_code)]
@@ -144,7 +124,8 @@ struct Node {
 /// Everything in the simulation except the agents themselves.
 pub struct World {
     now: SimTime,
-    queue: BinaryHeap<Reverse<QueuedEvent>>,
+    queue: Box<dyn EventQueue<EventKind>>,
+    scheduler: SchedulerKind,
     seq: u64,
     nodes: Vec<Node>,
     links: Vec<Link>,
@@ -154,7 +135,12 @@ pub struct World {
     multicast: MulticastState,
     stats: StatsRegistry,
     agent_addrs: Vec<Address>,
-    cancelled_timers: HashSet<u64>,
+    /// Timer id → `(fire time, event seq)` of every scheduled, not yet fired
+    /// or cancelled timer.  Cancellation resolves through this table, so a
+    /// stale [`Context::cancel`] (the timer already fired) is a no-op and —
+    /// unlike the historical tombstone-only design — cannot leave a
+    /// permanent tombstone behind.
+    pending_timers: HashMap<u64, (SimTime, u64)>,
     next_timer: u64,
     next_packet: u64,
     /// The simulation's root seed; per-link RNG streams are derived from it.
@@ -165,10 +151,11 @@ pub struct World {
 }
 
 impl World {
-    fn new(seed: u64) -> Self {
+    fn new(seed: u64, scheduler: SchedulerKind) -> Self {
         World {
             now: SimTime::ZERO,
-            queue: BinaryHeap::with_capacity(1024),
+            queue: scheduler.build(),
+            scheduler,
             seq: 0,
             nodes: Vec::new(),
             links: Vec::new(),
@@ -178,7 +165,7 @@ impl World {
             multicast: MulticastState::default(),
             stats: StatsRegistry::new(),
             agent_addrs: Vec::new(),
-            cancelled_timers: HashSet::new(),
+            pending_timers: HashMap::new(),
             next_timer: 0,
             next_packet: 0,
             seed,
@@ -188,11 +175,14 @@ impl World {
         }
     }
 
-    fn push_event(&mut self, time: SimTime, kind: EventKind) {
+    /// Enqueues an event; returns the event's sequence number (the tie-break
+    /// half of its `(time, seq)` queue key).
+    fn push_event(&mut self, time: SimTime, kind: EventKind) -> u64 {
         debug_assert!(time >= self.now, "cannot schedule into the past");
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Reverse(QueuedEvent { time, seq, kind }));
+        self.queue.schedule(time, seq, kind);
+        seq
     }
 
     fn ensure_routes(&mut self) {
@@ -298,7 +288,9 @@ impl World {
         match self.links[link_id.0].offer(packet, now) {
             LinkAccept::Accepted {
                 tx_complete_at: Some(t),
-            } => self.push_event(t, EventKind::LinkTxComplete { link: link_id }),
+            } => {
+                self.push_event(t, EventKind::LinkTxComplete { link: link_id });
+            }
             LinkAccept::Accepted {
                 tx_complete_at: None,
             } => {}
@@ -417,7 +409,7 @@ impl Context<'_> {
         let timer = TimerId(self.world.next_timer);
         self.world.next_timer += 1;
         let at = self.world.now + delay;
-        self.world.push_event(
+        let seq = self.world.push_event(
             at,
             EventKind::Timer {
                 agent: self.agent,
@@ -425,12 +417,19 @@ impl Context<'_> {
                 timer,
             },
         );
+        self.world.pending_timers.insert(timer.0, (at, seq));
         timer
     }
 
-    /// Cancels a previously scheduled timer (no-op if it already fired).
+    /// Cancels a previously scheduled timer (no-op if it already fired or
+    /// was already cancelled).  The timer's queue entry is removed in place
+    /// (calendar scheduler) or tombstoned until it surfaces (heap
+    /// scheduler); either way cancellation state stays bounded by the number
+    /// of outstanding timers, even across unbounded churn.
     pub fn cancel(&mut self, timer: TimerId) {
-        self.world.cancelled_timers.insert(timer.0);
+        if let Some((time, seq)) = self.world.pending_timers.remove(&timer.0) {
+            self.world.queue.cancel(time, seq);
+        }
     }
 
     /// Subscribes this agent (and its node) to a multicast group.
@@ -478,12 +477,71 @@ const _: fn() = || {
     assert_send::<Simulator>();
 };
 
+/// A snapshot of the event-core bookkeeping, exposed for tests and
+/// diagnostics (see [`Simulator::scheduler_diagnostics`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchedulerDiagnostics {
+    /// Which scheduler implementation is active.
+    pub scheduler: SchedulerKind,
+    /// Live (scheduled, not yet dispatched or cancelled) events.
+    pub queued_events: usize,
+    /// Cancelled entries still stored inside the queue (heap tombstones;
+    /// always 0 for the calendar scheduler).  Bounded by `queued_events` +
+    /// tombstones at all times — the unbounded-growth regression test pins
+    /// this.
+    pub queue_tombstones: usize,
+    /// Timers scheduled and not yet fired or cancelled.
+    pub pending_timers: usize,
+}
+
 impl Simulator {
     /// Creates an empty simulation with a deterministic RNG seed.
+    ///
+    /// The event scheduler defaults to [`SchedulerKind::Heap`]; the
+    /// `TFMCC_SCHEDULER` environment variable (`heap` / `calendar`)
+    /// overrides the default so whole experiment runs can be switched
+    /// without code changes.  Use [`Simulator::with_scheduler`] to pin one
+    /// explicitly.
     pub fn new(seed: u64) -> Self {
+        Self::with_scheduler(seed, SchedulerKind::resolve())
+    }
+
+    /// Creates an empty simulation with an explicit event scheduler,
+    /// ignoring the `TFMCC_SCHEDULER` environment variable.
+    pub fn with_scheduler(seed: u64, scheduler: SchedulerKind) -> Self {
         Simulator {
-            world: World::new(seed),
+            world: World::new(seed, scheduler),
             agents: Vec::new(),
+        }
+    }
+
+    /// Switches the event scheduler, migrating any queued events.  Both
+    /// schedulers pop in identical `(time, seq)` order, so switching — even
+    /// mid-run — does not change the simulation's behaviour.
+    pub fn set_scheduler(&mut self, scheduler: SchedulerKind) {
+        if scheduler == self.world.scheduler {
+            return;
+        }
+        let mut queue = scheduler.build();
+        while let Some((time, seq, kind)) = self.world.queue.pop() {
+            queue.schedule(time, seq, kind);
+        }
+        self.world.queue = queue;
+        self.world.scheduler = scheduler;
+    }
+
+    /// The active event scheduler.
+    pub fn scheduler(&self) -> SchedulerKind {
+        self.world.scheduler
+    }
+
+    /// Event-core bookkeeping counters, for tests and diagnostics.
+    pub fn scheduler_diagnostics(&self) -> SchedulerDiagnostics {
+        SchedulerDiagnostics {
+            scheduler: self.world.scheduler,
+            queued_events: self.world.queue.len(),
+            queue_tombstones: self.world.queue.tombstones(),
+            pending_timers: self.world.pending_timers.len(),
         }
     }
 
@@ -492,7 +550,9 @@ impl Simulator {
         self.world.now
     }
 
-    /// Number of events processed so far.
+    /// Number of events processed so far.  Cancelled timers are removed (or
+    /// tombstoned) inside the event queue and are never dispatched, so they
+    /// do not count.
     pub fn events_processed(&self) -> u64 {
         self.world.events_processed
     }
@@ -673,14 +733,19 @@ impl Simulator {
     /// Runs the simulation until the event queue is empty or `until` is
     /// reached (whichever comes first).  Time is advanced to `until`.
     pub fn run_until(&mut self, until: SimTime) {
-        while let Some(Reverse(head)) = self.world.queue.peek() {
-            if head.time > until {
+        while let Some(head_time) = self.world.queue.peek_time() {
+            if head_time > until {
                 break;
             }
-            let Reverse(event) = self.world.queue.pop().expect("peeked event exists");
-            self.world.now = event.time;
+            let (time, _seq, kind) = self.world.queue.pop().expect("peeked event exists");
+            debug_assert!(
+                time >= self.world.now,
+                "event queue popped backward in time: {time} after {}",
+                self.world.now
+            );
+            self.world.now = time;
             self.world.events_processed += 1;
-            self.dispatch(event);
+            self.dispatch(kind);
         }
         if self.world.now < until {
             self.world.now = until;
@@ -693,8 +758,8 @@ impl Simulator {
         self.run_until(until);
     }
 
-    fn dispatch(&mut self, event: QueuedEvent) {
-        match event.kind {
+    fn dispatch(&mut self, kind: EventKind) {
+        match kind {
             EventKind::AgentStart { agent } => {
                 self.with_agent(agent, |a, ctx| a.start(ctx));
             }
@@ -703,9 +768,9 @@ impl Simulator {
                 token,
                 timer,
             } => {
-                if self.world.cancelled_timers.remove(&timer.0) {
-                    return;
-                }
+                // Cancelled timers never surface from the queue; this timer
+                // is live, so retire its pending-table entry and fire it.
+                self.world.pending_timers.remove(&timer.0);
                 self.with_agent(agent, |a, ctx| a.on_timer(ctx, token));
             }
             EventKind::Deliver { agent, packet } => {
@@ -1297,6 +1362,155 @@ mod tests {
             assert_eq!(a.size, b.size);
             assert_eq!(a.sent_at, b.sent_at);
         }
+    }
+
+    /// Regression for the unbounded `cancelled_timers` tombstone set: a
+    /// churn-style agent that repeatedly schedules timers and cancels them —
+    /// including *stale* cancels of timers that already fired, exactly what
+    /// `TfmccReceiverAgent` does when a receiver leaves mid-round — must not
+    /// grow the event core's cancellation state monotonically.
+    #[test]
+    fn cancellation_state_stays_bounded_under_churn() {
+        struct ChurnAgent {
+            live: Option<TimerId>,
+            fired: TimerId,
+            cycles: u64,
+        }
+        impl Agent for ChurnAgent {
+            fn start(&mut self, ctx: &mut Context<'_>) {
+                self.fired = ctx.schedule(0.0, 0);
+                ctx.schedule(0.001, 1);
+            }
+            fn on_timer(&mut self, ctx: &mut Context<'_>, token: u64) {
+                if token != 1 {
+                    return;
+                }
+                self.cycles += 1;
+                // Stale cancel: this timer fired long ago.  The historical
+                // tombstone-only design leaked one set entry per call here.
+                ctx.cancel(self.fired);
+                // Live cancel: schedule a decoy far in the future and cancel
+                // it before it can ever fire.
+                if let Some(old) = self.live.take() {
+                    ctx.cancel(old);
+                }
+                self.live = Some(ctx.schedule(1_000.0, 2));
+                if self.cycles < 10_000 {
+                    ctx.schedule(0.001, 1);
+                }
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        for kind in [SchedulerKind::Heap, SchedulerKind::Calendar] {
+            let mut sim = Simulator::with_scheduler(11, kind);
+            let n = sim.add_node("n");
+            sim.add_agent(
+                n,
+                Port(1),
+                Box::new(ChurnAgent {
+                    live: None,
+                    fired: TimerId(u64::MAX),
+                    cycles: 0,
+                }),
+            );
+            sim.run_until(SimTime::from_secs(60.0));
+            let diag = sim.scheduler_diagnostics();
+            assert_eq!(diag.scheduler, kind);
+            // 10 000 churn cycles with 20 000 cancels: the only surviving
+            // state is the one decoy timer still pending (plus, on the heap,
+            // its at-most-one drained-on-pop tombstone window).
+            assert_eq!(diag.pending_timers, 1, "{kind:?}");
+            assert!(
+                diag.queued_events <= 2,
+                "{kind:?}: queue grew to {} events",
+                diag.queued_events
+            );
+            assert!(
+                diag.queue_tombstones <= 1,
+                "{kind:?}: cancellation left {} tombstones behind",
+                diag.queue_tombstones
+            );
+        }
+    }
+
+    /// The calendar scheduler must reproduce the heap's behaviour exactly on
+    /// a full simulation (the cross-topology guarantee lives in the
+    /// `scheduler_equivalence` proptest; this is the cheap in-crate pin).
+    #[test]
+    fn schedulers_agree_on_a_full_simulation() {
+        let run = |kind: SchedulerKind| {
+            let mut sim = Simulator::with_scheduler(7, kind);
+            let a = sim.add_node("a");
+            let b = sim.add_node("b");
+            let (ab, _) = sim.add_duplex_link(a, b, 1e5, 0.003, QueueDiscipline::drop_tail(8));
+            sim.set_link_loss(ab, LossModel::Bernoulli { p: 0.1 });
+            let sink_addr = Address::new(b, Port(1));
+            let sink = sim.add_agent(
+                b,
+                Port(1),
+                Box::new(Blaster::new(
+                    Dest::Unicast(Address::new(a, Port(9))),
+                    100,
+                    0,
+                    1.0,
+                )),
+            );
+            let _src = sim.add_agent(
+                a,
+                Port(1),
+                Box::new(Blaster::new(Dest::Unicast(sink_addr), 900, 400, 0.004)),
+            );
+            sim.run_until(SimTime::from_secs(8.0));
+            let log = sim.agent::<Blaster>(sink).unwrap().received.clone();
+            (log, sim.events_processed())
+        };
+        let heap = run(SchedulerKind::Heap);
+        let calendar = run(SchedulerKind::Calendar);
+        assert_eq!(heap, calendar, "schedulers diverged on a lossy workload");
+    }
+
+    /// Switching schedulers mid-run migrates the queue without perturbing
+    /// the simulation.
+    #[test]
+    fn mid_run_scheduler_switch_is_transparent() {
+        let run = |switch: bool| {
+            let mut sim = Simulator::with_scheduler(21, SchedulerKind::Heap);
+            let (s, r) = {
+                let s = sim.add_node("s");
+                let r = sim.add_node("r");
+                sim.add_duplex_link(s, r, 1e6, 0.002, QueueDiscipline::drop_tail(20));
+                (s, r)
+            };
+            let sink_addr = Address::new(r, Port(1));
+            let sink = sim.add_agent(
+                r,
+                Port(1),
+                Box::new(Blaster::new(
+                    Dest::Unicast(Address::new(s, Port(9))),
+                    100,
+                    0,
+                    1.0,
+                )),
+            );
+            sim.add_agent(
+                s,
+                Port(1),
+                Box::new(Blaster::new(Dest::Unicast(sink_addr), 500, 200, 0.01)),
+            );
+            sim.run_until(SimTime::from_secs(1.0));
+            if switch {
+                sim.set_scheduler(SchedulerKind::Calendar);
+                assert_eq!(sim.scheduler(), SchedulerKind::Calendar);
+            }
+            sim.run_until(SimTime::from_secs(5.0));
+            sim.agent::<Blaster>(sink).unwrap().received.clone()
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

@@ -14,7 +14,12 @@
 //!   are byte-identical for any `N`;
 //! * `--out FILE` writes the figure as deterministic JSON in addition to the
 //!   CSV on stdout;
-//! * `--bench-out FILE` writes the run's timing trajectory (`BENCH_*.json`).
+//! * `--bench-out FILE` writes the run's timing trajectory (`BENCH_*.json`);
+//! * `--scheduler heap|calendar` selects the event-queue scheduler for every
+//!   simulation of the run, by exporting the `TFMCC_SCHEDULER` environment
+//!   variable before any worker thread starts (setting the variable directly
+//!   works too; both schedulers produce byte-identical results — the knob
+//!   exists for performance comparisons, see `netsim::events`).
 
 use std::time::Instant;
 
@@ -42,13 +47,29 @@ impl FigureCli {
     }
 
     /// Builds the configuration from already-parsed arguments.
+    ///
+    /// A `--scheduler` choice is exported as the `TFMCC_SCHEDULER`
+    /// environment variable (see [`export_scheduler_env`]); this runs
+    /// before the sweep executor spawns its worker threads, so every
+    /// simulation of the run sees it.
     pub fn from_runner_args(args: RunnerArgs) -> Self {
+        export_scheduler_env(&args);
         FigureCli {
             scale: Scale::resolve(args.quick),
             runner: SweepRunner::new(args.effective_threads()),
             out: args.out,
             bench_out: args.bench_out,
         }
+    }
+}
+
+/// Exports a `--scheduler` choice as the `TFMCC_SCHEDULER` environment
+/// variable, which `netsim::Simulator::new` reads for every simulation of
+/// the process.  Call before spawning any worker thread; a no-op when the
+/// flag was not given (so a pre-set variable stays in effect).
+pub fn export_scheduler_env(args: &RunnerArgs) {
+    if let Some(scheduler) = &args.scheduler {
+        std::env::set_var("TFMCC_SCHEDULER", scheduler);
     }
 }
 

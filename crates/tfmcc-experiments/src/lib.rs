@@ -25,6 +25,7 @@
 
 pub mod churn_figs;
 pub mod cli;
+pub mod event_bench;
 pub mod fairness_figs;
 pub mod fanout_bench;
 pub mod feedback_figs;

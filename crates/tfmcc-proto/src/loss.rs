@@ -63,7 +63,10 @@ impl LossHistory {
             history_len: config.loss_history_len,
             weights: TfmccConfig::loss_interval_weights(config.loss_history_len),
             packet_size: config.packet_size,
-            intervals: VecDeque::new(),
+            // The ring never holds more than `history_len` intervals
+            // (`push_interval` evicts), so this one allocation at
+            // construction is the last one the loss path ever makes.
+            intervals: VecDeque::with_capacity(config.loss_history_len + 1),
             open_interval: 0.0,
             last_loss_event_at: None,
             expected_seq: None,
@@ -227,16 +230,21 @@ impl LossHistory {
 
     /// Weighted average over the closed intervals, optionally treating
     /// `open` as the most recent interval (shifting the rest by one).
+    ///
+    /// This runs (twice) on the receiver's per-packet path whenever the loss
+    /// event rate is evaluated, so it iterates the ring in place — no
+    /// scratch `Vec` — accumulating in the same order the historical
+    /// collect-then-sum implementation did, which keeps the floating-point
+    /// results bit-identical.
     fn weighted_average(&self, open: Option<f64>) -> f64 {
-        let mut values: Vec<f64> = Vec::with_capacity(self.history_len);
-        if let Some(o) = open {
-            values.push(o);
-        }
-        values.extend(self.intervals.iter().copied());
-        values.truncate(self.history_len);
         let mut num = 0.0;
         let mut den = 0.0;
-        for (v, w) in values.iter().zip(self.weights.iter()) {
+        for (v, w) in open
+            .into_iter()
+            .chain(self.intervals.iter().copied())
+            .take(self.history_len)
+            .zip(self.weights.iter())
+        {
             num += v * w;
             den += w;
         }

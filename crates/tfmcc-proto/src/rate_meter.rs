@@ -8,6 +8,12 @@
 use std::collections::VecDeque;
 
 /// Sliding-window receive-rate meter.
+///
+/// Samples live in a ring buffer ([`VecDeque`]) that is recycled in place:
+/// arrivals push at the tail while [`ReceiveRateMeter::record`] expires
+/// aged-out samples from the head, so the ring's capacity settles at the
+/// peak window occupancy and the per-packet path stops allocating entirely
+/// (the receiver allocation-count test pins this).
 #[derive(Debug, Clone)]
 pub struct ReceiveRateMeter {
     window: f64,
@@ -15,13 +21,17 @@ pub struct ReceiveRateMeter {
     bytes_in_window: u64,
 }
 
+/// Initial ring capacity; covers a couple of RTTs of data at typical
+/// simulated rates before the ring ever has to grow.
+const INITIAL_SAMPLE_CAPACITY: usize = 64;
+
 impl ReceiveRateMeter {
     /// Creates a meter averaging over `window` seconds.
     pub fn new(window: f64) -> Self {
         assert!(window > 0.0, "window must be positive");
         ReceiveRateMeter {
             window,
-            samples: VecDeque::new(),
+            samples: VecDeque::with_capacity(INITIAL_SAMPLE_CAPACITY),
             bytes_in_window: 0,
         }
     }

@@ -9,11 +9,16 @@
 //!                     (default: all available cores)
 //! --out FILE          write the figure as deterministic JSON to FILE
 //! --bench-out FILE    write the run's timing trajectory (BENCH_*.json)
+//! --scheduler KIND    event-queue scheduler for every simulation of the
+//!                     run: `heap` (default) or `calendar`
 //! ```
 //!
 //! `--threads=N`-style `=` forms are accepted too.  Scale resolution
 //! (including the `TFMCC_SCALE` environment override) is layered on top by
-//! the experiments crate, which owns the `Scale` type.
+//! the experiments crate, which owns the `Scale` type; likewise
+//! `--scheduler` is applied by the experiments crate, which exports it to
+//! simulations through the `TFMCC_SCHEDULER` environment variable (this
+//! crate does not depend on the simulator).
 
 use std::path::PathBuf;
 
@@ -30,6 +35,8 @@ pub struct RunnerArgs {
     pub out: Option<PathBuf>,
     /// `--bench-out FILE`, if given.
     pub bench_out: Option<PathBuf>,
+    /// `--scheduler KIND` (`heap` or `calendar`), if given.
+    pub scheduler: Option<String>,
 }
 
 impl RunnerArgs {
@@ -41,7 +48,7 @@ impl RunnerArgs {
             Err(msg) => {
                 eprintln!("error: {msg}");
                 eprintln!(
-                    "usage: <bin> [--quick | --paper] [--threads N] [--out FILE] [--bench-out FILE]"
+                    "usage: <bin> [--quick | --paper] [--threads N] [--out FILE] [--bench-out FILE] [--scheduler heap|calendar]"
                 );
                 std::process::exit(2);
             }
@@ -84,6 +91,15 @@ impl RunnerArgs {
                 }
                 "--out" => parsed.out = Some(PathBuf::from(value(&mut it)?)),
                 "--bench-out" => parsed.bench_out = Some(PathBuf::from(value(&mut it)?)),
+                "--scheduler" => {
+                    let v = value(&mut it)?;
+                    if !matches!(v.as_str(), "heap" | "calendar") {
+                        return Err(format!(
+                            "invalid --scheduler value '{v}' (use 'heap' or 'calendar')"
+                        ));
+                    }
+                    parsed.scheduler = Some(v);
+                }
                 other => return Err(format!("unknown argument '{other}'")),
             }
         }
@@ -132,8 +148,18 @@ mod tests {
     }
 
     #[test]
+    fn parses_scheduler() {
+        let args = parse(&["--scheduler", "calendar"]).unwrap();
+        assert_eq!(args.scheduler.as_deref(), Some("calendar"));
+        let args = parse(&["--scheduler=heap"]).unwrap();
+        assert_eq!(args.scheduler.as_deref(), Some("heap"));
+    }
+
+    #[test]
     fn rejects_bad_input() {
         assert!(parse(&["--threads", "zero"]).is_err());
+        assert!(parse(&["--scheduler", "wheel"]).is_err());
+        assert!(parse(&["--scheduler"]).is_err());
         assert!(parse(&["--threads", "0"]).is_err());
         assert!(parse(&["--threads"]).is_err());
         assert!(parse(&["--frobnicate"]).is_err());

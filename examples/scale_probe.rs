@@ -7,24 +7,44 @@
 //! can be switched to the clone-based reference path for comparison.
 //!
 //! ```text
-//! cargo run --release --example scale_probe -- [RECEIVERS] [shared|clone] [churn]
-//! cargo run --release --example scale_probe -- 100000 shared churn
+//! cargo run --release --example scale_probe -- [RECEIVERS] [shared|clone] [churn] [heap|calendar]
+//! cargo run --release --example scale_probe -- 100000 shared churn calendar
 //! ```
+//!
+//! The scheduler token (or the `TFMCC_SCHEDULER` environment variable)
+//! selects the event-queue implementation, so the heap and the calendar
+//! queue can be compared at 10⁵ receivers; both produce identical runs
+//! (see `netsim::events`), only the wall clock differs.
 
 use netsim::prelude::*;
 use std::time::Instant;
 
 fn main() {
-    let mut args = std::env::args().skip(1);
-    let n: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(10_000);
-    let mode = match args.next().as_deref() {
-        Some("clone") => FanoutMode::CloneReference,
-        _ => FanoutMode::Shared,
-    };
-    let churn = args.next().as_deref() == Some("churn");
+    let mut n: usize = 10_000;
+    let mut mode = FanoutMode::Shared;
+    let mut churn = false;
+    let mut scheduler = SchedulerKind::resolve();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "shared" => mode = FanoutMode::Shared,
+            "clone" => mode = FanoutMode::CloneReference,
+            "churn" => churn = true,
+            "heap" => scheduler = SchedulerKind::Heap,
+            "calendar" => scheduler = SchedulerKind::Calendar,
+            other => match other.parse() {
+                Ok(count) => n = count,
+                Err(_) => {
+                    eprintln!(
+                        "error: unknown argument '{other}' (expected a receiver count, shared|clone, churn, heap|calendar)"
+                    );
+                    std::process::exit(2);
+                }
+            },
+        }
+    }
 
     let t0 = Instant::now();
-    let mut sim = Simulator::new(1);
+    let mut sim = Simulator::with_scheduler(1, scheduler);
     sim.set_fanout_mode(mode);
     let legs: Vec<StarLeg> = (0..n).map(|_| StarLeg::clean(125_000.0, 0.02)).collect();
     let st = star(&mut sim, &StarConfig::default(), &legs);
@@ -61,7 +81,7 @@ fn main() {
         .map(|&s| sim.agent::<GroupSink>(s).unwrap().packets())
         .sum();
     println!(
-        "n={n} mode={mode:?} churn={churn} build={built:?} run={ran:?} events={} delivered={delivered}",
+        "n={n} mode={mode:?} scheduler={scheduler:?} churn={churn} build={built:?} run={ran:?} events={} delivered={delivered}",
         sim.events_processed()
     );
 }

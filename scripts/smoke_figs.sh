@@ -56,4 +56,23 @@ for bin in "${bins[@]}"; do
     fi
     echo "ok   $bin"
 done
+
+# Second-scheduler smoke: rerun the churn workload under the calendar-queue
+# event scheduler.  Both schedulers must produce byte-identical figures
+# (the netsim determinism contract), so the calendar run is compared
+# against the heap run's JSON, keeping the second scheduler exercised and
+# its equivalence enforced end to end.
+cal_json="$out_dir/fig22_churn.calendar.json"
+cal_csv="$out_dir/fig22_churn.calendar.csv"
+rm -f "$cal_json" "$cal_csv"
+if ! TFMCC_SCHEDULER=calendar cargo run --release --quiet -p tfmcc-experiments --bin fig22_churn -- \
+    --quick --threads 2 --out "$cal_json" > "$cal_csv"; then
+    echo "FAIL fig22_churn under TFMCC_SCHEDULER=calendar (non-zero exit)" >&2
+    status=1
+elif ! cmp -s "$out_dir/fig22_churn.json" "$cal_json"; then
+    echo "FAIL fig22_churn: calendar-scheduler output differs from the heap run" >&2
+    status=1
+else
+    echo "ok   fig22_churn (calendar scheduler, byte-identical)"
+fi
 exit "$status"
