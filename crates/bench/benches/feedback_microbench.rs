@@ -1,0 +1,44 @@
+//! Feedback-aggregation microbench: the sender-side feedback workload
+//! (receiver reports + data pacing + CLR elections) run with the scan-based
+//! reference aggregator versus the ordered-index incremental one.  The
+//! `feedback_10k/*` pair is the Criterion-tracked comparison at 10⁴ known
+//! receivers; the authoritative 10⁵-receiver trajectory (and the ≥2×
+//! regression gate) lives in the `BENCH_feedback.json` artifact written by
+//! `sweep_bench`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use tfmcc_experiments::feedback_bench::run_feedback_workload;
+use tfmcc_proto::aggregator::AggregatorKind;
+
+/// Criterion-sized workload: large enough that the O(N) reference scans
+/// dominate, small enough for the single-iteration CI smoke.
+const RECEIVERS: usize = 10_000;
+const OPS: u64 = 2_000;
+
+fn bench_feedback_aggregation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("feedback_10k");
+    group.bench_function("incremental", |b| {
+        b.iter(|| {
+            black_box(run_feedback_workload(
+                RECEIVERS,
+                AggregatorKind::Incremental,
+                OPS,
+            ))
+        })
+    });
+    group.bench_function("reference", |b| {
+        b.iter(|| {
+            black_box(run_feedback_workload(
+                RECEIVERS,
+                AggregatorKind::Reference,
+                OPS,
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_feedback_aggregation);
+criterion_main!(benches);

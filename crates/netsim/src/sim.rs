@@ -134,6 +134,10 @@ pub struct World {
     routes_dirty: bool,
     multicast: MulticastState,
     stats: StatsRegistry,
+    /// Cached per-group join/leave counter names, so membership churn (a
+    /// frequent event under the churn workloads) does not format a fresh
+    /// key string on every transition.
+    group_stat_keys: HashMap<GroupId, (String, String)>,
     agent_addrs: Vec<Address>,
     /// Timer id → `(fire time, event seq)` of every scheduled, not yet fired
     /// or cancelled timer.  Cancellation resolves through this table, so a
@@ -164,6 +168,7 @@ impl World {
             routes_dirty: true,
             multicast: MulticastState::default(),
             stats: StatsRegistry::new(),
+            group_stat_keys: HashMap::new(),
             agent_addrs: Vec::new(),
             pending_timers: HashMap::new(),
             next_timer: 0,
@@ -324,6 +329,23 @@ impl World {
         }
         self.multicast.join(group, node);
         self.stats.add("multicast.agent_joins", 1.0);
+        // Per-group (per-session) counter, so multi-session workloads can
+        // attribute membership churn to individual sessions.
+        let keys = Self::group_keys(&mut self.group_stat_keys, group);
+        self.stats.add(&keys.0, 1.0);
+    }
+
+    /// The cached `(joins, leaves)` counter names of a group.
+    fn group_keys(
+        cache: &mut HashMap<GroupId, (String, String)>,
+        group: GroupId,
+    ) -> &(String, String) {
+        cache.entry(group).or_insert_with(|| {
+            (
+                format!("multicast.agent_joins.group.{}", group.0),
+                format!("multicast.agent_leaves.group.{}", group.0),
+            )
+        })
     }
 
     /// Removes `agent`'s subscription to `group`; the node leaves the group
@@ -349,6 +371,8 @@ impl World {
             self.multicast.leave(group, node);
         }
         self.stats.add("multicast.agent_leaves", 1.0);
+        let keys = Self::group_keys(&mut self.group_stat_keys, group);
+        self.stats.add(&keys.1, 1.0);
     }
 
     fn handle_link_tx_complete(&mut self, link_id: LinkId) {

@@ -7,15 +7,20 @@
 //! mapped onto simulator timers.  [`session::TfmccSession`] wires a whole
 //! session (one sender, many receivers, optional staggered joins and leaves)
 //! in one call — the building block of every experiment in
-//! `tfmcc-experiments`.
+//! `tfmcc-experiments` — and [`manager::SessionManager`] orchestrates **many
+//! independent sessions in one simulation** (per-session group/port/flow
+//! allocation, staggered starts, per-session reports and cross-session
+//! fairness metrics), the substrate of the inter-TFMCC experiments.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod manager;
 pub mod receiver_agent;
 pub mod sender_agent;
 pub mod session;
 
+pub use manager::{SessionId, SessionManager, SessionReport, SessionSpec, SessionSummary};
 pub use receiver_agent::TfmccReceiverAgent;
 pub use sender_agent::TfmccSenderAgent;
 pub use session::{ReceiverSpec, TfmccSession, TfmccSessionBuilder};

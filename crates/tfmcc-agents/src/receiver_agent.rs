@@ -34,6 +34,10 @@ pub struct TfmccReceiverAgent {
     sender_addr: Address,
     group: GroupId,
     flow: FlowId,
+    /// Cached `tfmcc.feedback_sent.flow.<flow>` counter name, so the
+    /// per-report stats update does not format (and heap-allocate) a fresh
+    /// key every time.
+    flow_counter: String,
     join_at: f64,
     leave_at: Option<f64>,
     /// `(on_secs, off_secs)`: after each join, leave `on_secs` later and
@@ -65,6 +69,7 @@ impl TfmccReceiverAgent {
             config,
             sender_addr,
             group,
+            flow_counter: format!("tfmcc.feedback_sent.flow.{}", flow.0),
             flow,
             join_at: 0.0,
             leave_at: None,
@@ -220,6 +225,7 @@ impl Agent for TfmccReceiverAgent {
         if let Some(fb) = self.receiver.on_timer(ctx.now().as_secs()) {
             self.send_feedback(ctx, fb);
             ctx.stats().add("tfmcc.feedback_sent", 1.0);
+            ctx.stats().add(&self.flow_counter, 1.0);
         }
         self.sync_timer(ctx);
     }
@@ -236,6 +242,7 @@ impl Agent for TfmccReceiverAgent {
         if let Some(fb) = self.receiver.on_data(now, data) {
             self.send_feedback(ctx, fb);
             ctx.stats().add("tfmcc.feedback_sent", 1.0);
+            ctx.stats().add(&self.flow_counter, 1.0);
         }
         self.sync_timer(ctx);
     }

@@ -1,12 +1,17 @@
 //! One-call construction of a complete TFMCC session inside a simulation.
+//!
+//! [`TfmccSessionBuilder`] is the historical single-session entry point; it
+//! is a thin wrapper over the multi-session
+//! [`SessionManager`] (one manager, one
+//! session, the builder's explicit group/port/flow assignment), so both
+//! construction paths share wiring and input validation.
 
-use netsim::packet::{Address, AgentId, FlowId, GroupId, NodeId, Port};
+use netsim::packet::{AgentId, FlowId, GroupId, NodeId, Port};
 use netsim::sim::Simulator;
 
 use tfmcc_proto::config::TfmccConfig;
-use tfmcc_proto::packets::ReceiverId;
-use tfmcc_proto::sender::TfmccSender;
 
+use crate::manager::{SessionManager, SessionSpec};
 use crate::receiver_agent::TfmccReceiverAgent;
 use crate::sender_agent::TfmccSenderAgent;
 
@@ -109,53 +114,34 @@ pub struct TfmccSession {
 impl TfmccSessionBuilder {
     /// Builds the session: attaches the sender to `sender_node` and one
     /// receiver per spec, all wired to the same group and ports.
+    ///
+    /// This is single-session sugar over
+    /// [`SessionManager::add_session`](crate::manager::SessionManager::add_session),
+    /// which also validates the inputs (at least one receiver, finite times,
+    /// positive churn periods, distinct data/report ports).
     pub fn build(
         &self,
         sim: &mut Simulator,
         sender_node: NodeId,
         receivers: &[ReceiverSpec],
     ) -> TfmccSession {
-        assert!(
-            !receivers.is_empty(),
-            "a session needs at least one receiver"
-        );
-        let sender_addr = Address::new(sender_node, self.sender_port);
-        let mut sender_agent = TfmccSenderAgent::new(
-            TfmccSender::new(self.config.clone()),
-            self.group,
-            self.data_port,
-            self.flow,
-        )
-        .starting_at(self.start_at);
-        if self.record_rate_series {
-            sender_agent = sender_agent.with_rate_series();
-        }
-        let sender = sim.add_agent(sender_node, self.sender_port, Box::new(sender_agent));
-
-        let mut receiver_ids = Vec::with_capacity(receivers.len());
-        for (i, spec) in receivers.iter().enumerate() {
-            let mut agent = TfmccReceiverAgent::new(
-                ReceiverId(i as u64 + 1),
-                self.config.clone(),
-                sender_addr,
-                self.group,
-                self.flow,
-            )
-            .with_meter_bin(self.meter_bin)
-            .joining_at(spec.join_at);
-            if let Some(t) = spec.leave_at {
-                agent = agent.leaving_at(t);
-            }
-            if let Some((on_secs, off_secs)) = spec.churn {
-                agent = agent.churning(on_secs, off_secs);
-            }
-            let id = sim.add_agent(spec.node, self.data_port, Box::new(agent));
-            receiver_ids.push(id);
-        }
+        let spec = SessionSpec {
+            config: self.config.clone(),
+            start_at: self.start_at,
+            record_rate_series: self.record_rate_series,
+            meter_bin: self.meter_bin,
+            group: Some(self.group),
+            data_port: Some(self.data_port),
+            sender_port: Some(self.sender_port),
+            flow: Some(self.flow),
+        };
+        let mut manager = SessionManager::new();
+        let id = manager.add_session(sim, &spec, sender_node, receivers);
+        let handle = manager.session(id);
         TfmccSession {
-            sender,
-            receivers: receiver_ids,
-            group: self.group,
+            sender: handle.sender,
+            receivers: handle.receivers.clone(),
+            group: handle.group,
         }
     }
 }

@@ -1,0 +1,14 @@
+//! Figure 23 (beyond the paper): inter-TFMCC fairness — K competing TFMCC
+//! sessions over a shared bottleneck, on the parallel sweep runner.
+//! Receiver populations total 10⁵ at paper scale.
+//!
+//! Shared CLI: `--quick` / `--paper` select the scale (overridden by the
+//! `TFMCC_SCALE` environment variable), `--threads N` sizes the sweep
+//! executor (results are byte-identical for any N), `--sessions K` pins the
+//! session-count sweep to a single K (overridden by `TFMCC_SESSIONS`),
+//! `--out FILE` writes the figure as deterministic JSON and
+//! `--bench-out FILE` writes the run's timing trajectory.
+
+fn main() {
+    tfmcc_experiments::cli::figure_main(tfmcc_experiments::intersession_figs::fig23_intertfmcc);
+}

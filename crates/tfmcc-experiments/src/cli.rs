@@ -19,7 +19,10 @@
 //!   simulation of the run, by exporting the `TFMCC_SCHEDULER` environment
 //!   variable before any worker thread starts (setting the variable directly
 //!   works too; both schedulers produce byte-identical results — the knob
-//!   exists for performance comparisons, see `netsim::events`).
+//!   exists for performance comparisons, see `netsim::events`);
+//! * `--sessions K` pins multi-session figures (fig23) to K concurrent TFMCC
+//!   sessions, by exporting the `TFMCC_SESSIONS` environment variable the
+//!   same way (single-session figures ignore it).
 
 use std::time::Instant;
 
@@ -49,11 +52,13 @@ impl FigureCli {
     /// Builds the configuration from already-parsed arguments.
     ///
     /// A `--scheduler` choice is exported as the `TFMCC_SCHEDULER`
-    /// environment variable (see [`export_scheduler_env`]); this runs
-    /// before the sweep executor spawns its worker threads, so every
-    /// simulation of the run sees it.
+    /// environment variable (see [`export_scheduler_env`]) and a
+    /// `--sessions` choice as `TFMCC_SESSIONS` (see [`export_sessions_env`]);
+    /// this runs before the sweep executor spawns its worker threads, so
+    /// every simulation of the run sees it.
     pub fn from_runner_args(args: RunnerArgs) -> Self {
         export_scheduler_env(&args);
+        export_sessions_env(&args);
         FigureCli {
             scale: Scale::resolve(args.quick),
             runner: SweepRunner::new(args.effective_threads()),
@@ -70,6 +75,16 @@ impl FigureCli {
 pub fn export_scheduler_env(args: &RunnerArgs) {
     if let Some(scheduler) = &args.scheduler {
         std::env::set_var("TFMCC_SCHEDULER", scheduler);
+    }
+}
+
+/// Exports a `--sessions` choice as the `TFMCC_SESSIONS` environment
+/// variable, which multi-session figures (fig23) read to pin their
+/// session-count sweep.  Call before spawning any worker thread; a no-op
+/// when the flag was not given (so a pre-set variable stays in effect).
+pub fn export_sessions_env(args: &RunnerArgs) {
+    if let Some(sessions) = args.sessions {
+        std::env::set_var("TFMCC_SESSIONS", sessions.to_string());
     }
 }
 

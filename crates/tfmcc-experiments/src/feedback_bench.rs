@@ -1,0 +1,186 @@
+//! The sender feedback-aggregation microbench workload, shared between the
+//! Criterion bench (`bench/benches/feedback_microbench.rs`) and the
+//! `BENCH_feedback.json` artifact written by `sweep_bench`.
+//!
+//! The workload is the sender side of a large session in steady state: `n`
+//! receivers are known (each with its own rate and RTT), and the measured
+//! phase interleaves receiver reports, data-packet emission (each data
+//! packet consults the maximum receiver RTT to size the feedback window and
+//! embeds the round's suppression echo), and periodic CLR departures that
+//! force an election over the whole receiver set.  Run once per
+//! [`AggregatorKind`], the paired timings are the before/after measurement
+//! for the incremental feedback aggregation: the reference path pays an
+//! O(N) scan per data packet and per election, the incremental path an
+//! ordered-index lookup.
+//!
+//! Both runs must produce bit-identical protocol behaviour — the workload
+//! accumulates a digest of every observable output and
+//! [`measure_feedback`] asserts the digests agree, so the speedup can never
+//! come from divergent behaviour.
+
+use std::time::Instant;
+
+use tfmcc_proto::aggregator::AggregatorKind;
+use tfmcc_proto::config::TfmccConfig;
+use tfmcc_proto::packets::{FeedbackPacket, ReceiverId};
+use tfmcc_proto::sender::TfmccSender;
+
+/// Receiver count of the headline workload (the 10⁵-receiver scale target).
+pub const STANDARD_RECEIVERS: usize = 100_000;
+
+/// Measured operations (report + data-packet pairs) of the standard
+/// workload.
+pub const STANDARD_OPS: u64 = 20_000;
+
+fn report(id: u64, round: u64, now: f64, rate: f64, rtt: f64) -> FeedbackPacket {
+    FeedbackPacket {
+        receiver: ReceiverId(id),
+        timestamp: now,
+        echo_timestamp: now - rtt,
+        echo_delay: 0.001,
+        calculated_rate: rate,
+        loss_event_rate: 0.01,
+        receive_rate: rate,
+        rtt,
+        has_rtt_measurement: true,
+        feedback_round: round,
+        leaving: false,
+    }
+}
+
+/// Deterministic per-receiver parameters: rates spread over
+/// [50 kB/s, 1 MB/s), RTTs over [10 ms, 500 ms).
+fn receiver_params(id: u64) -> (f64, f64) {
+    let mix = id.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    let rate = 50_000.0 + (mix % 950_000) as f64;
+    let rtt = 0.01 + ((mix >> 32) % 490) as f64 / 1000.0;
+    (rate, rtt)
+}
+
+/// Runs the workload and returns `(wall_seconds, digest)`.  The digest
+/// accumulates every observable output (sending rate, max RTT, CLR, round,
+/// suppression echo) so two runs can be compared bit for bit.
+pub fn run_feedback_workload(n: usize, kind: AggregatorKind, ops: u64) -> (f64, u64) {
+    let mut sender = TfmccSender::with_aggregator(TfmccConfig::default(), kind);
+    // Populate: every receiver reports once (round numbers don't matter for
+    // the bookkeeping being measured).
+    let mut now = 0.0;
+    for id in 1..=n as u64 {
+        let (rate, rtt) = receiver_params(id);
+        sender.on_feedback(now, &report(id, sender.feedback_round(), now, rate, rtt));
+        now += 1e-5;
+    }
+
+    let started = Instant::now();
+    let mut digest = 0u64;
+    for op in 0..ops {
+        // One receiver refreshes its report...
+        let id = op % n as u64 + 1;
+        let (rate, rtt) = receiver_params(id);
+        let jitter = 1.0 + (op % 7) as f64 * 1e-3;
+        sender.on_feedback(
+            now,
+            &report(id, sender.feedback_round(), now, rate * jitter, rtt),
+        );
+        // ...the sender paces one data packet (feedback-window sizing reads
+        // the max RTT aggregate on this path)...
+        let data = sender.next_data(now);
+        digest = digest
+            .wrapping_mul(0x100000001B3)
+            .wrapping_add(data.current_rate.to_bits())
+            .wrapping_add(data.max_rtt.to_bits())
+            .wrapping_add(data.feedback_round)
+            .wrapping_add(data.clr.map(|c| c.0).unwrap_or(0))
+            .wrapping_add(
+                data.suppression
+                    .map(|s| s.rate.to_bits() ^ s.receiver.0)
+                    .unwrap_or(0),
+            );
+        // ...and every so often the CLR leaves, forcing an election over the
+        // full receiver set (an O(N) scan on the reference path).
+        if op % 500 == 499 {
+            if let Some(clr) = sender.clr() {
+                let mut leave = report(clr.0, 0, now, 0.0, 0.05);
+                leave.leaving = true;
+                sender.on_feedback(now, &leave);
+                // The departed receiver rejoins right away so the population
+                // stays at n.
+                let (rate, rtt) = receiver_params(clr.0);
+                sender.on_feedback(now, &report(clr.0, sender.feedback_round(), now, rate, rtt));
+            }
+        }
+        now += 2e-4;
+    }
+    digest = digest.wrapping_add(sender.known_receivers() as u64);
+    (started.elapsed().as_secs_f64(), digest)
+}
+
+/// The paired measurement: the same workload under both aggregators.
+#[derive(Debug, Clone, Copy)]
+pub struct FeedbackMeasurement {
+    /// Receiver count of the workload.
+    pub receivers: usize,
+    /// Measured operations per run.
+    pub ops: u64,
+    /// Wall seconds of the scan-based reference aggregation.
+    pub reference_secs: f64,
+    /// Wall seconds of the ordered-index incremental aggregation.
+    pub incremental_secs: f64,
+}
+
+impl FeedbackMeasurement {
+    /// Reference wall time divided by incremental wall time.
+    pub fn speedup(&self) -> f64 {
+        self.reference_secs / self.incremental_secs.max(1e-12)
+    }
+
+    /// Measured operations per second on the incremental path.
+    pub fn incremental_ops_per_sec(&self) -> f64 {
+        self.ops as f64 / self.incremental_secs.max(1e-12)
+    }
+
+    /// Measured operations per second on the reference path.
+    pub fn reference_ops_per_sec(&self) -> f64 {
+        self.ops as f64 / self.reference_secs.max(1e-12)
+    }
+}
+
+/// Measures the workload at receiver count `n` under both aggregators,
+/// verifying the two runs produced identical protocol behaviour.
+pub fn measure_feedback(n: usize, ops: u64) -> FeedbackMeasurement {
+    let (reference_secs, reference_digest) =
+        run_feedback_workload(n, AggregatorKind::Reference, ops);
+    let (incremental_secs, incremental_digest) =
+        run_feedback_workload(n, AggregatorKind::Incremental, ops);
+    assert_eq!(
+        reference_digest, incremental_digest,
+        "aggregators disagree on protocol behaviour at n={n}"
+    );
+    FeedbackMeasurement {
+        receivers: n,
+        ops,
+        reference_secs,
+        incremental_secs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A scaled-down measurement: the two aggregators must agree on every
+    /// observable output.  Wall-clock ordering is only sanity-checked very
+    /// loosely — timing assertions in unit tests go red on loaded machines;
+    /// the real ≥2× claim lives in the bench-smoke `BENCH_feedback.json`
+    /// artifact.
+    #[test]
+    fn feedback_aggregators_agree() {
+        let m = measure_feedback(3000, 2000);
+        assert_eq!(m.receivers, 3000);
+        assert!(
+            m.speedup() > 0.5,
+            "incremental aggregation catastrophically slower than the reference: {:.2}x",
+            m.speedup()
+        );
+    }
+}

@@ -19,6 +19,7 @@
 //! | 11, 13, 20, 21 (responsiveness)       | [`responsiveness_figs`] |
 //! | 12, 14, 15, 16 (startup, late join)   | [`startup_figs`] |
 //! | 22 (receiver churn, beyond the paper) | [`churn_figs`] |
+//! | 23 (inter-TFMCC fairness, beyond the paper) | [`intersession_figs`] |
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -28,7 +29,9 @@ pub mod cli;
 pub mod event_bench;
 pub mod fairness_figs;
 pub mod fanout_bench;
+pub mod feedback_bench;
 pub mod feedback_figs;
+pub mod intersession_figs;
 pub mod output;
 pub mod responsiveness_figs;
 pub mod scale;

@@ -1,0 +1,59 @@
+//! Golden-output regression test: the quick-scale Figure 23 (inter-TFMCC
+//! fairness) JSON is pinned byte for byte.
+//!
+//! The pinned file was captured when the multi-session `SessionManager`
+//! landed (incremental feedback aggregation as the default sender path).
+//! Any future change to the simulator core, the protocol, the session
+//! layer, or the JSON rendering that alters this output must be deliberate:
+//! regenerate with
+//!
+//! ```text
+//! cargo run --release -p tfmcc-experiments --bin fig23_intertfmcc -- \
+//!     --quick --threads 2 --out crates/tfmcc-experiments/tests/golden/fig23_quick.json
+//! ```
+
+use std::sync::Mutex;
+
+use tfmcc_experiments::intersession_figs::fig23_intertfmcc;
+use tfmcc_experiments::{Scale, SweepRunner};
+
+const GOLDEN: &str = include_str!("golden/fig23_quick.json");
+
+/// Serializes the two tests: both run full simulations whose scheduler is
+/// chosen through the process-global `TFMCC_SCHEDULER` variable (and the
+/// session count through `TFMCC_SESSIONS`).
+static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+fn render_fig23() -> String {
+    std::env::remove_var("TFMCC_SESSIONS");
+    let fig = fig23_intertfmcc(&SweepRunner::new(2), Scale::Quick);
+    let mut rendered = fig.to_json().render();
+    rendered.push('\n');
+    rendered
+}
+
+#[test]
+fn fig23_quick_json_matches_golden() {
+    let _guard = ENV_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    std::env::remove_var("TFMCC_SCHEDULER");
+    assert_eq!(
+        render_fig23(),
+        GOLDEN,
+        "fig23 --quick output drifted from the pinned golden file"
+    );
+}
+
+/// The calendar-queue scheduler must reproduce the pinned golden byte for
+/// byte — the determinism contract of `netsim::events` applied to the
+/// multi-session workload.
+#[test]
+fn fig23_quick_json_matches_golden_under_calendar_scheduler() {
+    let _guard = ENV_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    std::env::set_var("TFMCC_SCHEDULER", "calendar");
+    let rendered = render_fig23();
+    std::env::remove_var("TFMCC_SCHEDULER");
+    assert_eq!(
+        rendered, GOLDEN,
+        "fig23 --quick output under the calendar scheduler drifted from the pinned golden file"
+    );
+}

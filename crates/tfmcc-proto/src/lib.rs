@@ -49,6 +49,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod aggregator;
 pub mod config;
 pub mod feedback;
 pub mod loss;
@@ -60,6 +61,7 @@ pub mod sender;
 
 /// Commonly used types.
 pub mod prelude {
+    pub use crate::aggregator::{AggregatorKind, FeedbackAggregator};
     pub use crate::config::TfmccConfig;
     pub use crate::feedback::{BiasMethod, FeedbackPlanner};
     pub use crate::loss::LossHistory;

@@ -13,29 +13,18 @@
 //! CLR changes, slowstart, feedback-round management, the per-round
 //! suppression echo, and the prioritised echoing of receiver reports for RTT
 //! measurement (paper Sections 2.2, 2.4.2, 2.4.4, 2.5, 2.6, Appendix C).
-
-use std::collections::HashMap;
+//!
+//! Per-receiver bookkeeping and the aggregates derived from it (maximum RTT,
+//! CLR candidate, per-round suppression minimum) live behind the pluggable
+//! [`FeedbackAggregator`] — see [`crate::aggregator`] for the scan-based
+//! reference implementation and the ordered-index incremental one that keeps
+//! the per-data-packet path O(1) at 10⁵ receivers.
 
 use tfmcc_model::throughput::padhye_throughput;
 
+use crate::aggregator::{Aggregator, AggregatorKind, FeedbackAggregator, ReceiverInfo};
 use crate::config::TfmccConfig;
-use crate::packets::{DataPacket, FeedbackPacket, ReceiverId, RttEcho, SuppressionEcho};
-
-/// What the sender knows about one receiver.
-#[derive(Debug, Clone)]
-struct ReceiverInfo {
-    /// Most recent effective calculated rate (bytes/second).
-    rate: f64,
-    /// RTT of this receiver (receiver-measured if available, otherwise the
-    /// sender-side measurement), `None` if neither exists.
-    rtt: Option<f64>,
-    /// Whether the receiver itself has a valid RTT measurement.
-    has_own_rtt: bool,
-    /// Receiver-clock timestamp of its most recent report.
-    last_report_timestamp: f64,
-    /// Sender-clock time the most recent report arrived.
-    last_report_at: f64,
-}
+use crate::packets::{DataPacket, FeedbackPacket, ReceiverId, RttEcho};
 
 /// Echo waiting to be placed in a data packet, with its priority
 /// (lower value = higher priority, paper Section 2.4.2).
@@ -84,10 +73,9 @@ pub struct TfmccSender {
     /// Previous CLR remembered across a switch-over (Appendix C), with the
     /// time until which it is retained.
     previous_clr: Option<(ClrState, f64)>,
-    receivers: HashMap<ReceiverId, ReceiverInfo>,
+    receivers: Aggregator,
     feedback_round: u64,
     round_started_at: f64,
-    round_min: Option<SuppressionEcho>,
     echo_queue: Vec<PendingEcho>,
     seqno: u64,
     last_rate_adjust_at: f64,
@@ -96,8 +84,15 @@ pub struct TfmccSender {
 }
 
 impl TfmccSender {
-    /// Creates a sender.
+    /// Creates a sender with the feedback aggregator selected by
+    /// [`AggregatorKind::resolve`] (the `TFMCC_AGGREGATOR` environment
+    /// variable, defaulting to the incremental implementation).
     pub fn new(config: TfmccConfig) -> Self {
+        Self::with_aggregator(config, AggregatorKind::resolve())
+    }
+
+    /// Creates a sender with an explicit feedback-aggregation implementation.
+    pub fn with_aggregator(config: TfmccConfig, aggregator: AggregatorKind) -> Self {
         config.validate().expect("invalid TFMCC configuration");
         let initial_rate = config.initial_rate();
         TfmccSender {
@@ -107,10 +102,9 @@ impl TfmccSender {
             slowstart_target: initial_rate,
             clr: None,
             previous_clr: None,
-            receivers: HashMap::new(),
+            receivers: Aggregator::new(aggregator),
             feedback_round: 1,
             round_started_at: 0.0,
-            round_min: None,
             echo_queue: Vec::new(),
             seqno: 0,
             last_rate_adjust_at: 0.0,
@@ -118,6 +112,11 @@ impl TfmccSender {
             stats: SenderStats::default(),
             config,
         }
+    }
+
+    /// Which feedback-aggregation implementation this sender runs on.
+    pub fn aggregator_kind(&self) -> AggregatorKind {
+        self.receivers.kind()
     }
 
     /// Current sending rate in bytes/second.
@@ -140,6 +139,11 @@ impl TfmccSender {
         self.slowstart
     }
 
+    /// The current feedback round number (carried in every data packet).
+    pub fn feedback_round(&self) -> u64 {
+        self.feedback_round
+    }
+
     /// Number of distinct receivers that have reported so far.
     pub fn known_receivers(&self) -> usize {
         self.receivers.len()
@@ -147,7 +151,7 @@ impl TfmccSender {
 
     /// Number of known receivers with a valid (receiver-side) RTT measurement.
     pub fn receivers_with_rtt(&self) -> usize {
-        self.receivers.values().filter(|r| r.has_own_rtt).count()
+        self.receivers.receivers_with_rtt()
     }
 
     /// Accumulated statistics.
@@ -158,24 +162,7 @@ impl TfmccSender {
     /// The maximum RTT over all known receivers, falling back to the initial
     /// RTT for receivers that have not yet measured theirs.
     pub fn max_rtt(&self) -> f64 {
-        let mut max = 0.0_f64;
-        let mut any_without = self.receivers.is_empty();
-        for info in self.receivers.values() {
-            match info.rtt {
-                Some(r) if info.has_own_rtt => max = max.max(r),
-                Some(r) => {
-                    // Sender-side measurement only: usable but keep the
-                    // conservative floor as well.
-                    max = max.max(r);
-                    any_without = true;
-                }
-                None => any_without = true,
-            }
-        }
-        if any_without {
-            max = max.max(self.config.initial_rtt);
-        }
-        max.max(1e-3)
+        self.receivers.max_rtt(self.config.initial_rtt)
     }
 
     /// The feedback window `T` currently advertised to receivers.
@@ -217,7 +204,7 @@ impl TfmccSender {
             f64::INFINITY
         };
 
-        self.receivers.insert(
+        self.receivers.upsert(
             fb.receiver,
             ReceiverInfo {
                 rate: effective_rate,
@@ -235,12 +222,7 @@ impl TfmccSender {
             } else {
                 effective_rate
             };
-            if echo_rate.is_finite() && self.round_min.map(|m| echo_rate < m.rate).unwrap_or(true) {
-                self.round_min = Some(SuppressionEcho {
-                    receiver: fb.receiver,
-                    rate: echo_rate,
-                });
-            }
+            self.receivers.observe_round_rate(fb.receiver, echo_rate);
         }
 
         // Slowstart bookkeeping.
@@ -329,7 +311,7 @@ impl TfmccSender {
     }
 
     fn handle_leave(&mut self, now: f64, receiver: ReceiverId) {
-        self.receivers.remove(&receiver);
+        self.receivers.remove(receiver);
         if self.clr().map(|c| c == receiver).unwrap_or(false) {
             self.stats.clr_changes += 1;
             self.clr = None;
@@ -341,17 +323,7 @@ impl TfmccSender {
     }
 
     fn elect_clr_from_known(&mut self, now: f64) {
-        let candidate = self
-            .receivers
-            .iter()
-            .filter(|(_, info)| info.rate.is_finite())
-            .min_by(|a, b| {
-                a.1.rate
-                    .partial_cmp(&b.1.rate)
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            })
-            .map(|(id, info)| (*id, info.rate, info.rtt.unwrap_or(self.config.initial_rtt)));
-        if let Some((id, rate, rtt)) = candidate {
+        if let Some((id, rate, rtt)) = self.receivers.clr_candidate(self.config.initial_rtt) {
             self.clr = Some(ClrState {
                 id,
                 rate,
@@ -429,7 +401,7 @@ impl TfmccSender {
             self.feedback_round += 1;
             self.stats.rounds += 1;
             self.round_started_at = now;
-            self.round_min = None;
+            self.receivers.reset_round();
             if self.slowstart {
                 if let Some(min_recv) = self.slowstart_min_recv.take() {
                     self.slowstart_target =
@@ -458,7 +430,7 @@ impl TfmccSender {
             let id = self.clr.as_ref().map(|c| c.id).expect("checked above");
             self.stats.clr_timeouts += 1;
             self.stats.clr_changes += 1;
-            self.receivers.remove(&id);
+            self.receivers.remove(id);
             self.clr = None;
             self.previous_clr = None;
             self.elect_clr_from_known(now);
@@ -488,7 +460,7 @@ impl TfmccSender {
             })
         } else {
             self.clr().and_then(|id| {
-                self.receivers.get(&id).map(|info| RttEcho {
+                self.receivers.get(id).map(|info| RttEcho {
                     receiver: id,
                     echo_timestamp: info.last_report_timestamp,
                     echo_delay: (now - info.last_report_at).max(0.0),
@@ -505,7 +477,7 @@ impl TfmccSender {
             slowstart: self.slowstart,
             clr: self.clr(),
             rtt_echo,
-            suppression: self.round_min,
+            suppression: self.receivers.round_min(),
             size: self.config.packet_size,
         }
     }

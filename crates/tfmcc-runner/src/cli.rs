@@ -11,6 +11,9 @@
 //! --bench-out FILE    write the run's timing trajectory (BENCH_*.json)
 //! --scheduler KIND    event-queue scheduler for every simulation of the
 //!                     run: `heap` (default) or `calendar`
+//! --sessions N        number of concurrent TFMCC sessions for multi-session
+//!                     experiments (figures that sweep the session count pin
+//!                     it to N; single-session figures ignore the flag)
 //! ```
 //!
 //! `--threads=N`-style `=` forms are accepted too.  Scale resolution
@@ -37,6 +40,8 @@ pub struct RunnerArgs {
     pub bench_out: Option<PathBuf>,
     /// `--scheduler KIND` (`heap` or `calendar`), if given.
     pub scheduler: Option<String>,
+    /// `--sessions N`, if given.
+    pub sessions: Option<usize>,
 }
 
 impl RunnerArgs {
@@ -48,7 +53,7 @@ impl RunnerArgs {
             Err(msg) => {
                 eprintln!("error: {msg}");
                 eprintln!(
-                    "usage: <bin> [--quick | --paper] [--threads N] [--out FILE] [--bench-out FILE] [--scheduler heap|calendar]"
+                    "usage: <bin> [--quick | --paper] [--threads N] [--out FILE] [--bench-out FILE] [--scheduler heap|calendar] [--sessions N]"
                 );
                 std::process::exit(2);
             }
@@ -91,6 +96,16 @@ impl RunnerArgs {
                 }
                 "--out" => parsed.out = Some(PathBuf::from(value(&mut it)?)),
                 "--bench-out" => parsed.bench_out = Some(PathBuf::from(value(&mut it)?)),
+                "--sessions" => {
+                    let v = value(&mut it)?;
+                    let n: usize = v
+                        .parse()
+                        .map_err(|_| format!("invalid --sessions value '{v}'"))?;
+                    if n == 0 {
+                        return Err("--sessions must be at least 1".into());
+                    }
+                    parsed.sessions = Some(n);
+                }
                 "--scheduler" => {
                     let v = value(&mut it)?;
                     if !matches!(v.as_str(), "heap" | "calendar") {
@@ -153,6 +168,17 @@ mod tests {
         assert_eq!(args.scheduler.as_deref(), Some("calendar"));
         let args = parse(&["--scheduler=heap"]).unwrap();
         assert_eq!(args.scheduler.as_deref(), Some("heap"));
+    }
+
+    #[test]
+    fn parses_sessions() {
+        let args = parse(&["--sessions", "4"]).unwrap();
+        assert_eq!(args.sessions, Some(4));
+        let args = parse(&["--sessions=8"]).unwrap();
+        assert_eq!(args.sessions, Some(8));
+        assert!(parse(&["--sessions", "0"]).is_err());
+        assert!(parse(&["--sessions", "many"]).is_err());
+        assert!(parse(&["--sessions"]).is_err());
     }
 
     #[test]

@@ -1,29 +1,84 @@
 //! Scale probe: how large a multicast fan-out can one simulation hold?
 //!
 //! Builds an N-leg star (one node, two links and one receiver agent per
-//! leg), multicasts CBR traffic into it, and reports build time, run time
-//! and the event/delivery counts.  Optionally a tenth of the receivers
-//! churn (leave and rejoin the group on sub-second cycles), and the fan-out
-//! can be switched to the clone-based reference path for comparison.
+//! leg), multicasts CBR traffic into it, and reports build time, run time,
+//! the event/delivery counts **and the live heap footprint** (measured by a
+//! counting global allocator: net bytes after build and after the run, per
+//! receiver).  Optionally a tenth of the receivers churn (leave and rejoin
+//! the group on sub-second cycles), and the fan-out can be switched to the
+//! clone-based reference path for comparison.
+//!
+//! With `sessions=K` the probe becomes the **multi-session** workload from
+//! the roadmap: instead of CBR sinks it wires K full TFMCC sessions (each
+//! with its own sender node, multicast group and share of the N receivers,
+//! starts staggered 2 s apart) through a `SessionManager` sharing one
+//! simulator, and reports per-session goodput plus the Jain fairness index —
+//! at `100000 sessions=4` that is a single simulation holding ≥ 4 concurrent
+//! TFMCC sessions totaling 10⁵ receivers.
 //!
 //! ```text
-//! cargo run --release --example scale_probe -- [RECEIVERS] [shared|clone] [churn] [heap|calendar]
+//! cargo run --release --example scale_probe -- [RECEIVERS] [shared|clone] [churn]
+//!     [heap|calendar] [sessions=K]
 //! cargo run --release --example scale_probe -- 100000 shared churn calendar
+//! cargo run --release --example scale_probe -- 100000 sessions=4
 //! ```
 //!
 //! The scheduler token (or the `TFMCC_SCHEDULER` environment variable)
 //! selects the event-queue implementation, so the heap and the calendar
 //! queue can be compared at 10⁵ receivers; both produce identical runs
-//! (see `netsim::events`), only the wall clock differs.
+//! (see `netsim::events`), only the wall clock differs.  The
+//! `TFMCC_AGGREGATOR` environment variable likewise selects the sender's
+//! feedback aggregation (`incremental` by default) for the sessions mode.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicI64, Ordering::Relaxed};
+use std::time::Instant;
 
 use netsim::prelude::*;
-use std::time::Instant;
+use tfmcc_agents::manager::{SessionManager, SessionSpec};
+use tfmcc_agents::session::ReceiverSpec;
+
+/// Counts live heap bytes so the probe can report per-receiver memory.
+/// (Twin of the allocator in `crates/tfmcc-proto/tests/receiver_mem.rs` —
+/// a `#[global_allocator]` must live in the binary that uses it, so the
+/// ~30 lines are duplicated rather than shipped in a library crate; keep
+/// the two in sync.)
+struct NetCountingAllocator;
+
+static NET_BYTES: AtomicI64 = AtomicI64::new(0);
+
+unsafe impl GlobalAlloc for NetCountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        NET_BYTES.fetch_add(layout.size() as i64, Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        NET_BYTES.fetch_sub(layout.size() as i64, Relaxed);
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        NET_BYTES.fetch_add(new_size as i64 - layout.size() as i64, Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        NET_BYTES.fetch_add(layout.size() as i64, Relaxed);
+        System.alloc_zeroed(layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: NetCountingAllocator = NetCountingAllocator;
+
+fn live_bytes() -> i64 {
+    NET_BYTES.load(Relaxed)
+}
 
 fn main() {
     let mut n: usize = 10_000;
     let mut mode = FanoutMode::Shared;
     let mut churn = false;
     let mut scheduler = SchedulerKind::resolve();
+    let mut sessions: usize = 0;
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
             "shared" => mode = FanoutMode::Shared,
@@ -31,18 +86,44 @@ fn main() {
             "churn" => churn = true,
             "heap" => scheduler = SchedulerKind::Heap,
             "calendar" => scheduler = SchedulerKind::Calendar,
-            other => match other.parse() {
-                Ok(count) => n = count,
-                Err(_) => {
-                    eprintln!(
-                        "error: unknown argument '{other}' (expected a receiver count, shared|clone, churn, heap|calendar)"
-                    );
-                    std::process::exit(2);
+            other => {
+                if let Some(k) = other.strip_prefix("sessions=") {
+                    match k.parse() {
+                        Ok(count) if count >= 1 => sessions = count,
+                        _ => {
+                            eprintln!("error: invalid sessions count '{k}' (need an integer ≥ 1)");
+                            std::process::exit(2);
+                        }
+                    }
+                    continue;
                 }
-            },
+                match other.parse() {
+                    Ok(count) if count >= 1 => n = count,
+                    Ok(_) => {
+                        eprintln!("error: the receiver count must be at least 1");
+                        std::process::exit(2);
+                    }
+                    Err(_) => {
+                        eprintln!(
+                            "error: unknown argument '{other}' (expected a receiver count, shared|clone, churn, heap|calendar, sessions=K)"
+                        );
+                        std::process::exit(2);
+                    }
+                }
+            }
         }
     }
 
+    if sessions > 0 {
+        probe_sessions(n, sessions, scheduler, mode);
+    } else {
+        probe_cbr(n, mode, churn, scheduler);
+    }
+}
+
+/// The original single-group probe: CBR traffic into N `GroupSink`s.
+fn probe_cbr(n: usize, mode: FanoutMode, churn: bool, scheduler: SchedulerKind) {
+    let heap0 = live_bytes();
     let t0 = Instant::now();
     let mut sim = Simulator::with_scheduler(1, scheduler);
     sim.set_fanout_mode(mode);
@@ -72,10 +153,12 @@ fn main() {
         )),
     );
     let built = t0.elapsed();
+    let built_bytes = live_bytes() - heap0;
 
     let t1 = Instant::now();
     sim.run_until(SimTime::from_secs(10.0));
     let ran = t1.elapsed();
+    let run_bytes = live_bytes() - heap0;
     let delivered: u64 = sinks
         .iter()
         .map(|&s| sim.agent::<GroupSink>(s).unwrap().packets())
@@ -83,5 +166,99 @@ fn main() {
     println!(
         "n={n} mode={mode:?} scheduler={scheduler:?} churn={churn} build={built:?} run={ran:?} events={} delivered={delivered}",
         sim.events_processed()
+    );
+    println!(
+        "heap: {:.1} MB after build ({} B/receiver), {:.1} MB after run ({} B/receiver)",
+        built_bytes as f64 / (1 << 20) as f64,
+        built_bytes / n as i64,
+        run_bytes as f64 / (1 << 20) as f64,
+        run_bytes / n as i64,
+    );
+}
+
+/// The multi-session probe: K concurrent TFMCC sessions over one shared
+/// 8 Mbit/s bottleneck, splitting the N receivers between them.
+fn probe_sessions(n: usize, k: usize, scheduler: SchedulerKind, mode: FanoutMode) {
+    let heap0 = live_bytes();
+    let t0 = Instant::now();
+    let mut sim = Simulator::with_scheduler(1, scheduler);
+    sim.set_fanout_mode(mode);
+    let left = sim.add_node("left");
+    let right = sim.add_node("right");
+    sim.add_duplex_link(
+        left,
+        right,
+        1_000_000.0,
+        0.02,
+        QueueDiscipline::drop_tail(100),
+    );
+    let mut manager = SessionManager::new();
+    let per_session = (n / k).max(1);
+    for session in 0..k {
+        let sender = sim.add_node(&format!("s{session}"));
+        sim.add_duplex_link(
+            sender,
+            left,
+            1_250_000.0,
+            0.005,
+            QueueDiscipline::drop_tail(60),
+        );
+        let specs: Vec<ReceiverSpec> = (0..per_session)
+            .map(|i| {
+                let node = sim.add_node(&format!("r{session}_{i}"));
+                sim.add_duplex_link(
+                    right,
+                    node,
+                    125_000.0,
+                    0.005 + 0.002 * (i % 5) as f64,
+                    QueueDiscipline::drop_tail(30),
+                );
+                ReceiverSpec::always(node)
+            })
+            .collect();
+        manager.add_session(
+            &mut sim,
+            &SessionSpec::default().starting_at(session as f64 * 2.0),
+            sender,
+            &specs,
+        );
+    }
+    let built = t0.elapsed();
+    let built_bytes = live_bytes() - heap0;
+    let receivers = per_session * k;
+
+    let duration = 10.0;
+    let t1 = Instant::now();
+    sim.run_until(SimTime::from_secs(duration));
+    let ran = t1.elapsed();
+    let run_bytes = live_bytes() - heap0;
+
+    let report = manager.report(&sim, duration * 0.5, duration);
+    println!(
+        "n={receivers} sessions={k} scheduler={scheduler:?} mode={mode:?} build={built:?} run={ran:?} events={}",
+        sim.events_processed()
+    );
+    for s in &report.sessions {
+        println!(
+            "  session {} (group {}, {} receivers): {:.1} kbit/s mean, {} data packets, CLR {:?}",
+            s.id.0,
+            s.group.0,
+            s.receivers,
+            s.mean_throughput * 8.0 / 1000.0,
+            s.sender_stats.data_packets,
+            s.clr.map(|c| c.0),
+        );
+    }
+    println!(
+        "jain={:.3} aggregate={:.1} kbit/s",
+        report.jain_index(),
+        report.total_throughput() * 8.0 / 1000.0
+    );
+    println!(
+        "heap: {:.1} MB after build ({} B/receiver), {:.1} MB after run ({} B/receiver)",
+        built_bytes as f64 / (1 << 20) as f64,
+        built_bytes / receivers as i64,
+        run_bytes as f64 / (1 << 20) as f64,
+        run_bytes / receivers as i64,
     );
 }

@@ -20,11 +20,14 @@ if [ "${#bins[@]}" -eq 0 ]; then
     exit 1
 fi
 # Guard against the glob silently losing key scenarios: the large-scale
-# churn workload must always be part of the smoke.
-if ! printf '%s\n' "${bins[@]}" | grep -qx "fig22_churn"; then
-    echo "error: fig22_churn missing from the experiment binaries" >&2
-    exit 1
-fi
+# churn workload and the multi-session fairness workload must always be
+# part of the smoke.
+for required in fig22_churn fig23_intertfmcc; do
+    if ! printf '%s\n' "${bins[@]}" | grep -qx "$required"; then
+        echo "error: $required missing from the experiment binaries" >&2
+        exit 1
+    fi
+done
 echo "smoking ${#bins[@]} experiment binaries into $out_dir"
 
 # One build up front so per-bin timing below is pure runtime.
@@ -57,22 +60,25 @@ for bin in "${bins[@]}"; do
     echo "ok   $bin"
 done
 
-# Second-scheduler smoke: rerun the churn workload under the calendar-queue
-# event scheduler.  Both schedulers must produce byte-identical figures
-# (the netsim determinism contract), so the calendar run is compared
-# against the heap run's JSON, keeping the second scheduler exercised and
-# its equivalence enforced end to end.
-cal_json="$out_dir/fig22_churn.calendar.json"
-cal_csv="$out_dir/fig22_churn.calendar.csv"
-rm -f "$cal_json" "$cal_csv"
-if ! TFMCC_SCHEDULER=calendar cargo run --release --quiet -p tfmcc-experiments --bin fig22_churn -- \
-    --quick --threads 2 --out "$cal_json" > "$cal_csv"; then
-    echo "FAIL fig22_churn under TFMCC_SCHEDULER=calendar (non-zero exit)" >&2
-    status=1
-elif ! cmp -s "$out_dir/fig22_churn.json" "$cal_json"; then
-    echo "FAIL fig22_churn: calendar-scheduler output differs from the heap run" >&2
-    status=1
-else
-    echo "ok   fig22_churn (calendar scheduler, byte-identical)"
-fi
+# Second-scheduler smoke: rerun the churn workload and the multi-session
+# fairness workload under the calendar-queue event scheduler.  Both
+# schedulers must produce byte-identical figures (the netsim determinism
+# contract), so each calendar run is compared against the heap run's JSON,
+# keeping the second scheduler exercised and its equivalence enforced end
+# to end — including across concurrent TFMCC sessions.
+for bin in fig22_churn fig23_intertfmcc; do
+    cal_json="$out_dir/$bin.calendar.json"
+    cal_csv="$out_dir/$bin.calendar.csv"
+    rm -f "$cal_json" "$cal_csv"
+    if ! TFMCC_SCHEDULER=calendar cargo run --release --quiet -p tfmcc-experiments --bin "$bin" -- \
+        --quick --threads 2 --out "$cal_json" > "$cal_csv"; then
+        echo "FAIL $bin under TFMCC_SCHEDULER=calendar (non-zero exit)" >&2
+        status=1
+    elif ! cmp -s "$out_dir/$bin.json" "$cal_json"; then
+        echo "FAIL $bin: calendar-scheduler output differs from the heap run" >&2
+        status=1
+    else
+        echo "ok   $bin (calendar scheduler, byte-identical)"
+    fi
+done
 exit "$status"
