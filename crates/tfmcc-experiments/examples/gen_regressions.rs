@@ -1,0 +1,114 @@
+//! Regenerates the checked-in replay files under `tests/regressions/`.
+//!
+//! ```text
+//! cargo run -p tfmcc-experiments --example gen_regressions -- tests/regressions
+//! ```
+//!
+//! Two files are produced:
+//!
+//! * `clr_leave_report_lost.replay` — a model-check schedule on the `smoke3`
+//!   preset in which a receiver's leave announcement is dropped by the
+//!   network (the classic lost-CLR-departure scenario).  The schedule is
+//!   *quarantined*: it carries no `invariant=` key, so the regression test
+//!   asserts it replays **clean** — the protocol must tolerate it.
+//! * `worst_jain_seed.replay` — one scenario-search point with its expected
+//!   Jain index and CLR recovery recorded bit-exactly.
+//!
+//! The generator validates everything it writes by re-executing it first,
+//! so a stale grid or protocol change fails here, not in CI.
+
+use tfmcc_experiments::scenario_search::{
+    evaluate_scenario, replay_scenario, to_replay, Objective, Scenario,
+};
+use tfmcc_mc::{run_schedule, Action, McConfig, McModel, Model, Replay};
+
+/// Builds the lost-leave-report schedule by driving the model greedily:
+/// send one data packet, deliver every copy (so receivers learn the rate
+/// and arm timers), make receiver 0 leave, drop its leave report, then run
+/// the clock out — firing any due feedback timers and delivering whatever
+/// the receivers send, so the sender must cope with the loss using only the
+/// surviving receivers' reports.
+fn model_check_schedule(model: &McModel) -> Vec<Action> {
+    let mut schedule = Vec::new();
+    let mut state = model.initial();
+    let step =
+        |state: &mut <McModel as Model>::State, schedule: &mut Vec<Action>, action: Action| {
+            assert!(
+                model.enabled(state).contains(&action),
+                "{action} is not enabled after {schedule:?}"
+            );
+            *state = model.apply(state, &action);
+            schedule.push(action);
+        };
+
+    step(&mut state, &mut schedule, Action::SendData);
+    // Deliver all three data copies (indices shift as messages resolve; any
+    // feedback the deliveries produce lands at the tail of the bag).
+    for _ in 0..3 {
+        step(&mut state, &mut schedule, Action::Deliver(0));
+    }
+    step(&mut state, &mut schedule, Action::Leave(0));
+    // The leave announcement is the youngest message: drop it.
+    let last = state.network.len() - 1;
+    step(&mut state, &mut schedule, Action::Drop(last));
+    // Run the clock out, draining timers and feedback as they come due.
+    loop {
+        let enabled = model.enabled(&state);
+        if let Some(&fire) = enabled.iter().find(|a| matches!(a, Action::FireTimer(_))) {
+            step(&mut state, &mut schedule, fire);
+        } else if enabled.contains(&Action::Deliver(0)) {
+            step(&mut state, &mut schedule, Action::Deliver(0));
+        } else if enabled.contains(&Action::Tick) {
+            step(&mut state, &mut schedule, Action::Tick);
+        } else {
+            break;
+        }
+    }
+    schedule
+}
+
+fn main() {
+    let dir = std::env::args()
+        .nth(1)
+        .expect("usage: gen_regressions <output-dir>");
+    std::fs::create_dir_all(&dir).expect("create output dir");
+
+    // --- model-check replay ---------------------------------------------
+    let model = McModel::new(McConfig::preset("smoke3").unwrap());
+    let schedule = model_check_schedule(&model);
+    run_schedule(&model, &schedule).expect("quarantined schedule must replay clean");
+    let mut replay = Replay::new("model-check");
+    replay.set("preset", "smoke3");
+    replay.set(
+        "schedule",
+        &schedule
+            .iter()
+            .map(|a| a.to_string())
+            .collect::<Vec<_>>()
+            .join(" "),
+    );
+    let path = format!("{dir}/clr_leave_report_lost.replay");
+    std::fs::write(&path, replay.render()).expect("write replay");
+    println!("wrote {path} ({} steps)", schedule.len());
+
+    // --- scenario replay -------------------------------------------------
+    let scenario = Scenario {
+        sessions_idx: 1, // 2 sessions
+        receivers_idx: 0,
+        loss_idx: 2, // 1% bottleneck loss, both directions
+        delay_idx: 1,
+        churn_idx: 2, // 4 s on / 4 s off
+        seed: 7,
+    };
+    let duration = 15.0;
+    let outcome = evaluate_scenario(&scenario, duration);
+    let replay = to_replay(Objective::WorstJain, &scenario, duration, &outcome);
+    replay_scenario(&Replay::parse(&replay.render()).unwrap())
+        .expect("scenario replay must re-execute bit-exactly");
+    let path = format!("{dir}/worst_jain_seed.replay");
+    std::fs::write(&path, replay.render()).expect("write replay");
+    println!(
+        "wrote {path} (jain={:.4} recovery={:.3}s)",
+        outcome.jain, outcome.clr_recovery
+    );
+}

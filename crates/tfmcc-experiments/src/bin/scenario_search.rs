@@ -1,0 +1,15 @@
+//! Worst-case scenario search: simulated annealing over the churn / loss /
+//! RTT / session-count grids, hunting the lowest Jain index and the slowest
+//! CLR recovery.  Prints the per-iteration trajectories as CSV; the note
+//! line carries both worst cases.  Set `TFMCC_REPLAY_DIR` to also write the
+//! worst cases as `tfmcc-replay-v1` files for the regression suite.
+//!
+//! Shared CLI: `--quick` / `--paper` select the scale (quick: 4 iterations
+//! of 20 s simulations; paper: 24 iterations of 120 s), `--threads N` sizes
+//! the sweep executor (results are byte-identical for any N), `--out FILE`
+//! writes the figure as deterministic JSON and `--bench-out FILE` the run's
+//! timing trajectory.
+
+fn main() {
+    tfmcc_experiments::cli::figure_main(tfmcc_experiments::scenario_search::scenario_search);
+}

@@ -20,6 +20,7 @@
 //! | 12, 14, 15, 16 (startup, late join)   | [`startup_figs`] |
 //! | 22 (receiver churn, beyond the paper) | [`churn_figs`] |
 //! | 23 (inter-TFMCC fairness, beyond the paper) | [`intersession_figs`] |
+//! | worst-case annealing search (beyond the paper) | [`scenario_search`] |
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -36,6 +37,7 @@ pub mod output;
 pub mod responsiveness_figs;
 pub mod scale;
 pub mod scaling_figs;
+pub mod scenario_search;
 pub mod startup_figs;
 pub mod sweeps;
 

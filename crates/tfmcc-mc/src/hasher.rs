@@ -1,0 +1,93 @@
+//! Deterministic state hashing.
+//!
+//! State fingerprints must be identical across runs, platforms and Rust
+//! versions: they are written into replay files and compared by regression
+//! tests.  `std::collections::hash_map::DefaultHasher` guarantees none of
+//! that (its algorithm is explicitly unspecified), so the checker uses a
+//! fixed FNV-1a implementation with all multi-byte writes little-endian.
+
+use std::hash::Hasher;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// 64-bit FNV-1a with little-endian integer writes: a stable, portable
+/// [`Hasher`] for state fingerprints.
+#[derive(Debug, Clone)]
+pub struct Fnv1a(u64);
+
+impl Fnv1a {
+    /// Creates a hasher at the standard FNV offset basis.
+    pub fn new() -> Self {
+        Fnv1a(FNV_OFFSET)
+    }
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Hasher for Fnv1a {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    // The default integer methods hash native-endian bytes; pin them to
+    // little-endian so fingerprints are identical on every platform.
+    fn write_u8(&mut self, i: u8) {
+        self.write(&[i]);
+    }
+    fn write_u16(&mut self, i: u16) {
+        self.write(&i.to_le_bytes());
+    }
+    fn write_u32(&mut self, i: u32) {
+        self.write(&i.to_le_bytes());
+    }
+    fn write_u64(&mut self, i: u64) {
+        self.write(&i.to_le_bytes());
+    }
+    fn write_u128(&mut self, i: u128) {
+        self.write(&i.to_le_bytes());
+    }
+    fn write_usize(&mut self, i: usize) {
+        // usize width differs across platforms; hash as u64.
+        self.write_u64(i as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // FNV-1a("") = offset basis; FNV-1a("a") = 0xaf63dc4c8601ec8c.
+        assert_eq!(Fnv1a::new().finish(), FNV_OFFSET);
+        let mut h = Fnv1a::new();
+        h.write(b"a");
+        assert_eq!(h.finish(), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn integer_writes_match_little_endian_bytes() {
+        let mut a = Fnv1a::new();
+        a.write_u64(0x0102_0304_0506_0708);
+        let mut b = Fnv1a::new();
+        b.write(&[0x08, 0x07, 0x06, 0x05, 0x04, 0x03, 0x02, 0x01]);
+        assert_eq!(a.finish(), b.finish());
+        let mut c = Fnv1a::new();
+        c.write_usize(7);
+        let mut d = Fnv1a::new();
+        d.write_u64(7);
+        assert_eq!(c.finish(), d.finish());
+    }
+}

@@ -1,0 +1,265 @@
+//! The safety properties checked after every transition.
+//!
+//! Each invariant is a small stateless object so custom checks can be mixed
+//! in alongside the four shipped ones ([`default_invariants`]).  An
+//! invariant sees the whole [`McWorld`] (all fields are public) and returns
+//! a human-readable message on violation; the explorer attaches the action
+//! schedule that reached the bad state.
+
+use crate::world::{McConfig, McWorld};
+
+/// Numerical slack for clock/window comparisons.
+const EPS: f64 = 1e-9;
+
+/// A safety property of [`McWorld`], checked after every transition.
+pub trait Invariant {
+    /// Stable identifier, written into counterexample replay files.
+    fn name(&self) -> &'static str;
+    /// `Err(message)` when the state violates the property.
+    fn check(&self, config: &McConfig, world: &McWorld) -> Result<(), String>;
+}
+
+/// The four shipped invariants, in checking order.
+pub fn default_invariants() -> Vec<Box<dyn Invariant>> {
+    vec![
+        Box::new(NoRateDeadlock),
+        Box::new(RoundTermination),
+        Box::new(AggregatorAgreement),
+        Box::new(MaxRttConsistency),
+    ]
+}
+
+/// The sender's rate must stay finite and at least one byte per second, and
+/// the sender must never sit CLR-less while it knows a limiting receiver —
+/// that is the rate-deadlock of a lost CLR: no CLR means no one drives the
+/// rate down, and a stale low rate means no one can drive it up either.
+pub struct NoRateDeadlock;
+
+impl Invariant for NoRateDeadlock {
+    fn name(&self) -> &'static str {
+        "no-rate-deadlock"
+    }
+
+    fn check(&self, _config: &McConfig, w: &McWorld) -> Result<(), String> {
+        let rate = w.sender.current_rate();
+        if !rate.is_finite() || rate < 1.0 - EPS {
+            return Err(format!("sender rate {rate} is not a sane send rate"));
+        }
+        if !w.sender.in_slowstart() && w.sender.has_limited_receiver() && w.sender.clr().is_none() {
+            return Err(format!(
+                "no CLR at t={} although a limiting receiver is known to the aggregator",
+                w.now
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Feedback rounds must terminate: the sender may never sit in the same
+/// round for longer than the largest feedback window that round ran under
+/// (plus one tick of scheduling slack), and the round counter must never
+/// move backwards.
+pub struct RoundTermination;
+
+impl Invariant for RoundTermination {
+    fn name(&self) -> &'static str {
+        "feedback-round-termination"
+    }
+
+    fn check(&self, config: &McConfig, w: &McWorld) -> Result<(), String> {
+        let window = w.sender.feedback_window();
+        if !window.is_finite() || window <= 0.0 {
+            return Err(format!("feedback window {window} is not positive"));
+        }
+        let round = w.sender.feedback_round();
+        if round < w.prev_round {
+            return Err(format!(
+                "feedback round went backwards: {} -> {round}",
+                w.prev_round
+            ));
+        }
+        let age = w.now - w.sender.round_started_at();
+        let bound = w.window_hwm + config.tick + EPS;
+        if age > bound {
+            return Err(format!(
+                "round {round} is {age:.6}s old at t={} but the feedback window never exceeded {:.6}s",
+                w.now, w.window_hwm
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// The incremental aggregator must be observationally equivalent to the
+/// reference aggregator: running the same feedback through both senders
+/// must yield identical CLR choices, rates, max-RTT and round state — and
+/// identical data packets on the wire (checked at transmission time and
+/// latched into `shadow_mismatch`).
+pub struct AggregatorAgreement;
+
+impl Invariant for AggregatorAgreement {
+    fn name(&self) -> &'static str {
+        "aggregator-agreement"
+    }
+
+    fn check(&self, _config: &McConfig, w: &McWorld) -> Result<(), String> {
+        if let Some(mismatch) = &w.shadow_mismatch {
+            return Err(mismatch.clone());
+        }
+        let (s, r) = (&w.sender, &w.shadow);
+        if s.clr() != r.clr() {
+            return Err(format!(
+                "CLR diverged: incremental {:?} vs reference {:?}",
+                s.clr(),
+                r.clr()
+            ));
+        }
+        if s.current_rate().to_bits() != r.current_rate().to_bits() {
+            return Err(format!(
+                "rate diverged: incremental {} vs reference {}",
+                s.current_rate(),
+                r.current_rate()
+            ));
+        }
+        if s.max_rtt().to_bits() != r.max_rtt().to_bits() {
+            return Err(format!(
+                "max RTT diverged: incremental {} vs reference {}",
+                s.max_rtt(),
+                r.max_rtt()
+            ));
+        }
+        if s.feedback_round() != r.feedback_round() {
+            return Err(format!(
+                "feedback round diverged: incremental {} vs reference {}",
+                s.feedback_round(),
+                r.feedback_round()
+            ));
+        }
+        if s.known_receivers() != r.known_receivers() {
+            return Err(format!(
+                "receiver census diverged: incremental {} vs reference {}",
+                s.known_receivers(),
+                r.known_receivers()
+            ));
+        }
+        if s.receivers_with_rtt() != r.receivers_with_rtt() {
+            return Err(format!(
+                "RTT census diverged: incremental {} vs reference {}",
+                s.receivers_with_rtt(),
+                r.receivers_with_rtt()
+            ));
+        }
+        if s.in_slowstart() != r.in_slowstart() {
+            return Err(format!(
+                "slowstart state diverged: incremental {} vs reference {}",
+                s.in_slowstart(),
+                r.in_slowstart()
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// The sender's max-RTT aggregate must stay sane, and — the frame property —
+/// no action other than a tick, a data transmission or a feedback delivery
+/// may move the sender's rate, max-RTT or round.  Report loss in particular
+/// must leave the aggregates exactly where they were: dropping a report may
+/// *delay* an update but must never *corrupt* one.
+pub struct MaxRttConsistency;
+
+impl Invariant for MaxRttConsistency {
+    fn name(&self) -> &'static str {
+        "max-rtt-consistency"
+    }
+
+    fn check(&self, _config: &McConfig, w: &McWorld) -> Result<(), String> {
+        let max_rtt = w.sender.max_rtt();
+        if !max_rtt.is_finite() || max_rtt < 1e-3 {
+            return Err(format!("sender max RTT {max_rtt} is not sane"));
+        }
+        if !w.sender_touched {
+            if w.sender.max_rtt().to_bits() != w.prev_max_rtt_bits {
+                return Err(format!(
+                    "max RTT moved ({} -> {}) on an action that never touched the sender",
+                    f64::from_bits(w.prev_max_rtt_bits),
+                    w.sender.max_rtt()
+                ));
+            }
+            if w.sender.current_rate().to_bits() != w.prev_rate_bits {
+                return Err(format!(
+                    "rate moved ({} -> {}) on an action that never touched the sender",
+                    f64::from_bits(w.prev_rate_bits),
+                    w.sender.current_rate()
+                ));
+            }
+            if w.sender.feedback_round() != w.prev_round {
+                return Err(format!(
+                    "round moved ({} -> {}) on an action that never touched the sender",
+                    w.prev_round,
+                    w.sender.feedback_round()
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::Model;
+    use crate::world::{Action, McModel};
+
+    fn smoke2() -> McModel {
+        McModel::new(McConfig::preset("smoke2").unwrap())
+    }
+
+    #[test]
+    fn default_invariants_pass_on_the_initial_state() {
+        let m = smoke2();
+        let w = m.initial();
+        for inv in default_invariants() {
+            inv.check(m.config(), &w)
+                .unwrap_or_else(|e| panic!("{} rejected the initial state: {e}", inv.name()));
+        }
+    }
+
+    #[test]
+    fn invariant_names_are_stable() {
+        let names: Vec<&str> = default_invariants().iter().map(|i| i.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "no-rate-deadlock",
+                "feedback-round-termination",
+                "aggregator-agreement",
+                "max-rtt-consistency",
+            ]
+        );
+    }
+
+    #[test]
+    fn frame_check_trips_on_an_untouched_sender_mutation() {
+        let m = smoke2();
+        let mut w = m.apply(&m.initial(), &Action::Tick);
+        // Forge a state claiming the sender was not touched although the
+        // recorded pre-action aggregates differ.
+        w.sender_touched = false;
+        w.prev_rate_bits = (w.sender.current_rate() * 2.0).to_bits();
+        let err = MaxRttConsistency
+            .check(m.config(), &w)
+            .expect_err("forged frame must be rejected");
+        assert!(err.contains("rate moved"), "{err}");
+    }
+
+    #[test]
+    fn agreement_check_trips_on_a_latched_mismatch() {
+        let m = smoke2();
+        let mut w = m.initial();
+        w.shadow_mismatch = Some("synthetic divergence".into());
+        let err = AggregatorAgreement
+            .check(m.config(), &w)
+            .expect_err("latched mismatch must be reported");
+        assert!(err.contains("synthetic divergence"), "{err}");
+    }
+}

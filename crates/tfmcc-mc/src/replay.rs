@@ -1,0 +1,177 @@
+//! Counterexample replay files (`tfmcc-replay-v1`).
+//!
+//! A replay file pins down one counterexample — a model-checker schedule or
+//! a scenario-search point — precisely enough that a regression test can
+//! re-execute it byte-identically.  The format is deliberately primitive:
+//! one `key=value` pair per line, `#` comments, blank lines ignored.  All
+//! `f64` values are stored as IEEE-754 bit patterns (`0x%016x`) so replays
+//! never round-trip through decimal formatting.
+//!
+//! Common keys: `format` (always `tfmcc-replay-v1`) and `kind`
+//! (`model-check` or `scenario`).
+//!
+//! `model-check` kind: `preset` (an [`McConfig`] preset name), `schedule`
+//! (space-separated [`Action`] strings), optional `invariant` (the invariant
+//! the schedule is expected to violate; absent for quarantined schedules
+//! that must replay *clean*).
+//!
+//! `scenario` kind: the sweep-point parameters (`seed`, `sessions`,
+//! `receivers`, `duration`, plus bits-hex `loss`/`delay`/... as the
+//! scenario-search driver defines them) and the expected metrics
+//! (`expected_jain`, `expected_recovery`) in bits-hex.
+//!
+//! [`McConfig`]: crate::world::McConfig
+//! [`Action`]: crate::world::Action
+
+/// A parsed replay file: an ordered list of `key=value` pairs.
+///
+/// Order is preserved and duplicate keys are allowed (last one wins on
+/// lookup) so files render back exactly as authored.
+#[derive(Debug, Clone, Default)]
+pub struct Replay {
+    pairs: Vec<(String, String)>,
+}
+
+/// The `format=` value this module reads and writes.
+pub const FORMAT: &str = "tfmcc-replay-v1";
+
+/// Renders an `f64` as its IEEE-754 bit pattern (`0x0123456789abcdef`).
+pub fn f64_to_bits_hex(v: f64) -> String {
+    format!("0x{:016x}", v.to_bits())
+}
+
+/// Parses a bits-hex string produced by [`f64_to_bits_hex`].
+pub fn f64_from_bits_hex(s: &str) -> Result<f64, String> {
+    let hex = s
+        .strip_prefix("0x")
+        .ok_or_else(|| format!("bits-hex value '{s}' must start with 0x"))?;
+    u64::from_str_radix(hex, 16)
+        .map(f64::from_bits)
+        .map_err(|e| format!("bad bits-hex value '{s}': {e}"))
+}
+
+impl Replay {
+    /// An empty replay of the current format.
+    pub fn new(kind: &str) -> Self {
+        let mut r = Replay::default();
+        r.set("format", FORMAT);
+        r.set("kind", kind);
+        r
+    }
+
+    /// Parses replay text; rejects files of a different `format`.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut pairs = Vec::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| format!("line {}: expected key=value, got '{line}'", lineno + 1))?;
+            pairs.push((key.trim().to_string(), value.trim().to_string()));
+        }
+        let replay = Replay { pairs };
+        match replay.get("format") {
+            Some(FORMAT) => Ok(replay),
+            Some(other) => Err(format!("unsupported replay format '{other}'")),
+            None => Err("replay file has no format= line".into()),
+        }
+    }
+
+    /// Renders back to file text (one pair per line, trailing newline).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (k, v) in &self.pairs {
+            out.push_str(k);
+            out.push('=');
+            out.push_str(v);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Last value for `key`, if present.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Last value for `key`, or an error naming the missing key.
+    pub fn require(&self, key: &str) -> Result<&str, String> {
+        self.get(key)
+            .ok_or_else(|| format!("replay file is missing {key}="))
+    }
+
+    /// Parses the bits-hex `f64` stored under `key`.
+    pub fn require_f64_bits(&self, key: &str) -> Result<f64, String> {
+        f64_from_bits_hex(self.require(key)?).map_err(|e| format!("{key}: {e}"))
+    }
+
+    /// Appends a pair (does not replace earlier occurrences).
+    pub fn set(&mut self, key: &str, value: &str) {
+        self.pairs.push((key.to_string(), value.to_string()));
+    }
+
+    /// Appends an `f64` pair in bits-hex.
+    pub fn set_f64_bits(&mut self, key: &str, value: f64) {
+        self.set(key, &f64_to_bits_hex(value));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_hex_round_trips_exactly() {
+        for v in [0.0, -0.0, 1.0, 1.0 / 3.0, f64::MAX, 2.2250738585072014e-308] {
+            let parsed = f64_from_bits_hex(&f64_to_bits_hex(v)).unwrap();
+            assert_eq!(parsed.to_bits(), v.to_bits());
+        }
+        assert!(f64_from_bits_hex("1.5").is_err());
+        assert!(f64_from_bits_hex("0xzz").is_err());
+    }
+
+    #[test]
+    fn parse_render_round_trips() {
+        let text = "\
+# a comment
+format=tfmcc-replay-v1
+kind=model-check
+preset=smoke3
+
+schedule=Send Drop:0 Tick
+";
+        let replay = Replay::parse(text).unwrap();
+        assert_eq!(replay.get("kind"), Some("model-check"));
+        assert_eq!(replay.require("preset").unwrap(), "smoke3");
+        assert_eq!(replay.get("schedule"), Some("Send Drop:0 Tick"));
+        assert!(replay.require("invariant").is_err());
+        // Re-parse of the render sees the same pairs (comments are dropped).
+        let again = Replay::parse(&replay.render()).unwrap();
+        assert_eq!(again.render(), replay.render());
+    }
+
+    #[test]
+    fn wrong_or_missing_format_is_rejected() {
+        assert!(Replay::parse("format=tfmcc-replay-v0\n").is_err());
+        assert!(Replay::parse("kind=scenario\n").is_err());
+        assert!(Replay::parse("this is not a pair\n").is_err());
+    }
+
+    #[test]
+    fn builder_produces_parseable_files() {
+        let mut r = Replay::new("scenario");
+        r.set("seed", "42");
+        r.set_f64_bits("loss", 0.01);
+        let parsed = Replay::parse(&r.render()).unwrap();
+        assert_eq!(parsed.get("kind"), Some("scenario"));
+        assert_eq!(parsed.require("seed").unwrap(), "42");
+        assert_eq!(parsed.require_f64_bits("loss").unwrap(), 0.01);
+    }
+}

@@ -1,0 +1,39 @@
+//! The ISSUE acceptance check: exhaustively explore the 1-sender /
+//! 3-receiver `smoke3` configuration — with at least one droppable control
+//! message in the budget — to ≥10⁴ deduplicated states, all four invariants
+//! armed, without truncation.
+
+use tfmcc_mc::{explore, Limits, McConfig, McModel, Strategy};
+
+#[test]
+fn smoke3_is_exhausted_with_all_invariants() {
+    let config = McConfig::preset("smoke3").expect("smoke3 preset exists");
+    assert_eq!(config.receivers, 3);
+    assert!(config.max_drops >= 1, "a control message must be droppable");
+    let model = McModel::new(config);
+    assert_eq!(model.invariant_names().len(), 4);
+
+    let out = explore(
+        &model,
+        Strategy::Dfs,
+        Limits {
+            max_states: 500_000,
+            max_depth: usize::MAX,
+        },
+    );
+    assert!(
+        out.violation.is_none(),
+        "invariant violated: {:?}",
+        out.violation
+    );
+    assert!(
+        !out.truncated,
+        "state space must be exhausted, not truncated"
+    );
+    assert!(
+        out.states_explored >= 10_000,
+        "expected >= 10^4 distinct states, got {}",
+        out.states_explored
+    );
+    assert!(out.dedup_hits > 0, "interleavings must actually merge");
+}

@@ -148,6 +148,35 @@ mod tests {
     }
 
     #[test]
+    fn hysteresis_boundary_is_strict() {
+        // A candidate must be *strictly* below hysteresis × acker to take
+        // over; equal modelled throughput (same conditions) never flaps.
+        let mut t = AckerTracker::new(1000.0, 0.85);
+        t.update(1, 0.01, 0.1, 0.0);
+        assert!(!t.update(2, 0.01, 0.1, 1.0), "identical conditions");
+        assert_eq!(t.acker(), Some(1));
+        // Throughput scales with 1/(rtt·sqrt(p)): quadrupling the loss rate
+        // halves the modelled rate, which is below 85% — must take over.
+        assert!(t.update(3, 0.04, 0.1, 2.0));
+        assert_eq!(t.acker(), Some(3));
+        // The reigning acker re-reporting identical conditions never counts
+        // as a change.
+        assert!(!t.update(3, 0.04, 0.1, 3.0));
+    }
+
+    #[test]
+    fn expiring_the_last_receiver_leaves_no_acker() {
+        let mut t = AckerTracker::new(1000.0, 0.85);
+        t.update(1, 0.02, 0.05, 0.0);
+        assert!(t.expire(5.0), "the vanished acker must be reported");
+        assert_eq!(t.acker(), None);
+        assert_eq!(t.known_receivers(), 0);
+        // The next reporter is elected immediately.
+        assert!(t.update(2, 0.0, 0.2, 6.0));
+        assert_eq!(t.acker(), Some(2));
+    }
+
+    #[test]
     fn expiry_reelects_among_live_receivers() {
         let mut t = AckerTracker::new(1000.0, 0.85);
         t.update(1, 0.05, 0.05, 0.0);

@@ -232,3 +232,108 @@ impl Agent for PgmccSenderAgent {
         self
     }
 }
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::receiver::PgmccReceiverAgent;
+    use netsim::packet::{Address, AgentId};
+    use netsim::prelude::*;
+
+    fn build_pair(sim: &mut Simulator, a: NodeId, b: NodeId) -> (AgentId, AgentId) {
+        let group = GroupId(88);
+        let data_port = Port(7000);
+        let sender_port = Port(7001);
+        let sender_addr = Address::new(a, sender_port);
+        let sender = sim.add_agent(
+            a,
+            sender_port,
+            Box::new(PgmccSenderAgent::new(group, data_port, FlowId(8), 1000)),
+        );
+        let receiver = sim.add_agent(
+            b,
+            data_port,
+            Box::new(PgmccReceiverAgent::new(1, sender_addr, group, FlowId(8))),
+        );
+        (sender, receiver)
+    }
+
+    #[test]
+    fn ack_clock_opens_the_window_on_a_clean_path() {
+        let mut sim = Simulator::new(411);
+        let a = sim.add_node("a");
+        let b = sim.add_node("b");
+        // Plenty of bandwidth and queue: the ACK clock should open the
+        // window well past its initial two packets without loss events.
+        sim.add_duplex_link(a, b, 12_500_000.0, 0.02, QueueDiscipline::drop_tail(2000));
+        let (sender, _) = build_pair(&mut sim, a, b);
+        sim.run_until(SimTime::from_secs(10.0));
+        let s: &PgmccSenderAgent = sim.agent(sender).unwrap();
+        assert!(
+            s.window() > 10.0,
+            "window should grow from 2 under a pure ACK clock, got {}",
+            s.window()
+        );
+        assert!(s.stats().data_packets > 100);
+        assert_eq!(s.acker(), Some(1));
+    }
+
+    #[test]
+    fn loss_is_survived_and_reported_by_the_acker() {
+        // The packet-level model skips holes in the cumulative ACK
+        // (reliability is out of scope), so random loss mostly shows up as
+        // the acker's loss_rate driving the election — the window must stay
+        // in its legal range and data must keep flowing regardless.
+        let mut sim = Simulator::new(412);
+        let a = sim.add_node("a");
+        let b = sim.add_node("b");
+        let (down, _) =
+            sim.add_duplex_link(a, b, 1_250_000.0, 0.02, QueueDiscipline::drop_tail(100));
+        sim.set_link_loss(down, LossModel::Bernoulli { p: 0.03 });
+        let (sender, receiver) = build_pair(&mut sim, a, b);
+        sim.run_until(SimTime::from_secs(60.0));
+        let s: &PgmccSenderAgent = sim.agent(sender).unwrap();
+        assert!(
+            (1.0..=4096.0).contains(&s.window()),
+            "window left its legal range: {}",
+            s.window()
+        );
+        assert!(s.stats().data_packets > 500, "data must keep flowing");
+        let r: &PgmccReceiverAgent = sim.agent(receiver).unwrap();
+        assert!(
+            r.loss_rate() > 0.005,
+            "the acker must report the 3% path loss, got {}",
+            r.loss_rate()
+        );
+    }
+
+    #[test]
+    fn ack_blackout_triggers_the_timeout_fallback() {
+        let mut sim = Simulator::new(413);
+        let a = sim.add_node("a");
+        let b = sim.add_node("b");
+        let (down, up) =
+            sim.add_duplex_link(a, b, 1_250_000.0, 0.02, QueueDiscipline::drop_tail(100));
+        let (sender, _) = build_pair(&mut sim, a, b);
+        sim.run_until(SimTime::from_secs(10.0));
+        let before = {
+            let s: &PgmccSenderAgent = sim.agent(sender).unwrap();
+            s.stats().loss_events
+        };
+        // Kill the path completely: no data arrives, no ACKs return.  The
+        // sender's ACK clock stalls and only the timeout fallback can act.
+        sim.set_link_loss(down, LossModel::Bernoulli { p: 1.0 });
+        sim.set_link_loss(up, LossModel::Bernoulli { p: 1.0 });
+        sim.run_until(SimTime::from_secs(30.0));
+        let s: &PgmccSenderAgent = sim.agent(sender).unwrap();
+        assert!(
+            s.stats().loss_events > before,
+            "the blackout must register as loss via the timeout fallback"
+        );
+        assert!(
+            s.window() <= 2.0,
+            "the window must collapse on timeout, got {}",
+            s.window()
+        );
+    }
+}

@@ -36,8 +36,10 @@
 //! [`TfmccSender::with_aggregator`]: crate::sender::TfmccSender::with_aggregator
 
 use std::collections::{BTreeSet, HashMap};
+use std::hash::Hasher;
 
 use crate::packets::{ReceiverId, SuppressionEcho};
+use crate::step::{hash_f64, hash_opt_f64, StateFingerprint};
 
 /// Which feedback-aggregation implementation a sender uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -363,6 +365,67 @@ impl FeedbackAggregator for IncrementalAggregator {
 
     fn kind(&self) -> AggregatorKind {
         AggregatorKind::Incremental
+    }
+}
+
+impl StateFingerprint for ReceiverInfo {
+    fn fingerprint<H: Hasher>(&self, h: &mut H) {
+        hash_f64(h, self.rate);
+        hash_opt_f64(h, self.rtt);
+        h.write_u8(self.has_own_rtt as u8);
+        hash_f64(h, self.last_report_timestamp);
+        hash_f64(h, self.last_report_at);
+    }
+}
+
+/// Hashes the bookkeeping shared by both implementations in a canonical
+/// (id-sorted) order.  The incremental path's indexes and counters are pure
+/// functions of this map, so they need no hashing of their own — and the
+/// two implementations fingerprint identically for identical contents.
+fn fingerprint_bookkeeping<H: Hasher>(
+    h: &mut H,
+    receivers: &HashMap<ReceiverId, ReceiverInfo>,
+    round_min: Option<SuppressionEcho>,
+) {
+    let mut ids: Vec<ReceiverId> = receivers.keys().copied().collect();
+    ids.sort_unstable();
+    h.write_usize(ids.len());
+    for id in ids {
+        h.write_u64(id.0);
+        receivers[&id].fingerprint(h);
+    }
+    match round_min {
+        Some(echo) => {
+            h.write_u8(1);
+            h.write_u64(echo.receiver.0);
+            hash_f64(h, echo.rate);
+        }
+        None => h.write_u8(0),
+    }
+}
+
+impl StateFingerprint for ReferenceAggregator {
+    fn fingerprint<H: Hasher>(&self, h: &mut H) {
+        fingerprint_bookkeeping(h, &self.receivers, self.round_min);
+    }
+}
+
+impl StateFingerprint for IncrementalAggregator {
+    fn fingerprint<H: Hasher>(&self, h: &mut H) {
+        fingerprint_bookkeeping(h, &self.receivers, self.round_min);
+    }
+}
+
+impl StateFingerprint for Aggregator {
+    fn fingerprint<H: Hasher>(&self, h: &mut H) {
+        h.write_u8(match self.kind() {
+            AggregatorKind::Reference => 0,
+            AggregatorKind::Incremental => 1,
+        });
+        match self {
+            Aggregator::Reference(a) => a.fingerprint(h),
+            Aggregator::Incremental(a) => a.fingerprint(h),
+        }
     }
 }
 

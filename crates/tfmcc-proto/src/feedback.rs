@@ -11,7 +11,10 @@
 //! matters most tend to answer first while suppression still prevents an
 //! implosion.
 
+use std::hash::Hasher;
+
 use crate::config::TfmccConfig;
+use crate::step::{hash_f64, StateFingerprint};
 
 /// Which timer-biasing method to use.  TFMCC proper uses
 /// [`BiasMethod::ModifiedOffset`]; the others exist so the comparison figures
@@ -112,6 +115,22 @@ impl FeedbackPlanner {
     /// their timer wheels).
     pub fn max_timer(&self, window: f64) -> f64 {
         window
+    }
+}
+
+impl StateFingerprint for FeedbackPlanner {
+    fn fingerprint<H: Hasher>(&self, h: &mut H) {
+        hash_f64(h, self.n_estimate);
+        hash_f64(h, self.offset_fraction);
+        hash_f64(h, self.cancel_alpha);
+        hash_f64(h, self.saturation_ratio);
+        hash_f64(h, self.start_ratio);
+        h.write_u8(match self.method {
+            BiasMethod::Unbiased => 0,
+            BiasMethod::BasicOffset => 1,
+            BiasMethod::ModifiedOffset => 2,
+            BiasMethod::ModifiedN => 3,
+        });
     }
 }
 

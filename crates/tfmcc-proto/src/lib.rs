@@ -58,6 +58,7 @@ pub mod rate_meter;
 pub mod receiver;
 pub mod rtt;
 pub mod sender;
+pub mod step;
 
 /// Commonly used types.
 pub mod prelude {
@@ -70,4 +71,5 @@ pub mod prelude {
     pub use crate::receiver::{ReceiverStats, TfmccReceiver};
     pub use crate::rtt::RttEstimator;
     pub use crate::sender::{SenderStats, TfmccSender};
+    pub use crate::step::{ReceiverStep, SenderStep, StateFingerprint};
 }

@@ -11,10 +11,12 @@
 //! receiver obtains its first real RTT measurement.
 
 use std::collections::VecDeque;
+use std::hash::Hasher;
 
 use tfmcc_model::throughput::mathis_loss_rate;
 
 use crate::config::TfmccConfig;
+use crate::step::{hash_f64, hash_opt_f64, StateFingerprint};
 
 /// Result of processing one arriving data packet.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -272,6 +274,40 @@ impl LossHistory {
     /// Packets received since the most recent loss event started.
     pub fn open_interval(&self) -> f64 {
         self.open_interval
+    }
+}
+
+impl StateFingerprint for LossHistory {
+    /// Hashes everything that influences future loss-rate computation.  The
+    /// `weights` table is a pure function of `history_len` and the
+    /// `total_received` / `total_lost` counters are observational
+    /// ([`raw_loss_fraction`](Self::raw_loss_fraction) only), so both are
+    /// excluded.
+    fn fingerprint<H: Hasher>(&self, h: &mut H) {
+        h.write_usize(self.history_len);
+        h.write_u32(self.packet_size);
+        h.write_usize(self.intervals.len());
+        for v in &self.intervals {
+            hash_f64(h, *v);
+        }
+        hash_f64(h, self.open_interval);
+        hash_opt_f64(h, self.last_loss_event_at);
+        match self.expected_seq {
+            Some(s) => {
+                h.write_u8(1);
+                h.write_u64(s);
+            }
+            None => h.write_u8(0),
+        }
+        hash_opt_f64(h, self.last_arrival);
+        match self.synthetic_age {
+            Some(a) => {
+                h.write_u8(1);
+                h.write_usize(a);
+            }
+            None => h.write_u8(0),
+        }
+        h.write_u8(self.synthetic_used_initial_rtt as u8);
     }
 }
 

@@ -6,6 +6,9 @@
 //! at the first loss event (Appendix B).
 
 use std::collections::VecDeque;
+use std::hash::Hasher;
+
+use crate::step::{hash_f64, StateFingerprint};
 
 /// Sliding-window receive-rate meter.
 ///
@@ -81,6 +84,18 @@ impl ReceiveRateMeter {
     /// Total bytes currently inside the window.
     pub fn bytes_in_window(&self) -> u64 {
         self.bytes_in_window
+    }
+}
+
+impl StateFingerprint for ReceiveRateMeter {
+    fn fingerprint<H: Hasher>(&self, h: &mut H) {
+        hash_f64(h, self.window);
+        h.write_usize(self.samples.len());
+        for &(t, b) in &self.samples {
+            hash_f64(h, t);
+            h.write_u32(b);
+        }
+        h.write_u64(self.bytes_in_window);
     }
 }
 

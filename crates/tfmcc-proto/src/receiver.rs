@@ -25,8 +25,10 @@
 //! computation iterates in place (see `loss.rs` / `rate_meter.rs`).  The
 //! allocation-counting test in `tests/alloc_count.rs` pins this.
 
+use std::hash::Hasher;
+
 use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use rand::{Rng, RngCore, SeedableRng};
 
 use tfmcc_model::throughput::padhye_throughput;
 
@@ -36,6 +38,7 @@ use crate::loss::LossHistory;
 use crate::packets::{DataPacket, FeedbackPacket, ReceiverId};
 use crate::rate_meter::ReceiveRateMeter;
 use crate::rtt::RttEstimator;
+use crate::step::{hash_f64, StateFingerprint};
 
 /// A pending (not yet fired, not yet cancelled) feedback timer.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -374,6 +377,43 @@ impl TfmccReceiver {
             feedback_round: self.current_round,
             leaving: false,
         }
+    }
+}
+
+impl StateFingerprint for TfmccReceiver {
+    /// Hashes every field that influences future behaviour; the accumulated
+    /// [`ReceiverStats`] are excluded (observational only).  The RNG has no
+    /// state accessor, so its position in the stream is captured by cloning
+    /// it and drawing two values — receivers whose generators would produce
+    /// different future timers fingerprint differently.
+    fn fingerprint<H: Hasher>(&self, h: &mut H) {
+        h.write_u64(self.id.0);
+        self.planner.fingerprint(h);
+        self.loss.fingerprint(h);
+        self.rtt.fingerprint(h);
+        self.recv_meter.fingerprint(h);
+        let mut probe = self.rng.clone();
+        h.write_u64(probe.next_u64());
+        h.write_u64(probe.next_u64());
+        hash_f64(h, self.sender_rate);
+        hash_f64(h, self.max_rtt);
+        h.write_u8(self.slowstart as u8);
+        h.write_u8(self.is_clr as u8);
+        h.write_u64(self.current_round);
+        h.write_u8(self.seen_any_data as u8);
+        match self.timer {
+            Some(pending) => {
+                h.write_u8(1);
+                hash_f64(h, pending.fire_at);
+                h.write_u64(pending.round);
+            }
+            None => h.write_u8(0),
+        }
+        h.write_u8(self.sent_this_round as u8);
+        h.write_u8(self.suppressed_this_round as u8);
+        hash_f64(h, self.next_clr_report_at);
+        hash_f64(h, self.last_data_timestamp);
+        hash_f64(h, self.last_data_arrival);
     }
 }
 

@@ -7,9 +7,12 @@
 //! estimate is updated from one-way delay changes observed on every data
 //! packet (Section 2.4.3), with clock skew cancelling out.
 
+use std::hash::Hasher;
+
 use serde::{Deserialize, Serialize};
 
 use crate::config::TfmccConfig;
+use crate::step::{hash_f64, hash_opt_f64, StateFingerprint};
 
 /// Smallest RTT the estimator will report, guarding divisions elsewhere.
 pub const MIN_RTT: f64 = 1e-4;
@@ -113,6 +116,18 @@ impl RttEstimator {
         } else {
             self.estimate / self.estimate_at_last_measurement
         }
+    }
+}
+
+impl StateFingerprint for RttEstimator {
+    fn fingerprint<H: Hasher>(&self, h: &mut H) {
+        hash_f64(h, self.estimate);
+        h.write_u8(self.has_measurement as u8);
+        hash_f64(h, self.beta_clr);
+        hash_f64(h, self.beta_non_clr);
+        hash_f64(h, self.beta_one_way);
+        hash_opt_f64(h, self.owd_receiver_to_sender);
+        hash_f64(h, self.estimate_at_last_measurement);
     }
 }
 

@@ -20,11 +20,14 @@
 //! reference implementation and the ordered-index incremental one that keeps
 //! the per-data-packet path O(1) at 10⁵ receivers.
 
+use std::hash::Hasher;
+
 use tfmcc_model::throughput::padhye_throughput;
 
 use crate::aggregator::{Aggregator, AggregatorKind, FeedbackAggregator, ReceiverInfo};
 use crate::config::TfmccConfig;
 use crate::packets::{DataPacket, FeedbackPacket, ReceiverId, RttEcho};
+use crate::step::{hash_f64, hash_opt_f64, StateFingerprint};
 
 /// Echo waiting to be placed in a data packet, with its priority
 /// (lower value = higher priority, paper Section 2.4.2).
@@ -59,6 +62,10 @@ pub struct SenderStats {
     pub clr_timeouts: u64,
     /// Number of feedback rounds completed.
     pub rounds: u64,
+    /// Longest observed gap, in seconds, between losing the CLR (leave or
+    /// timeout) and installing a replacement.  Zero if every vacancy was
+    /// filled by an immediate re-election.
+    pub max_clr_recovery_secs: f64,
 }
 
 /// The TFMCC sender.
@@ -80,6 +87,10 @@ pub struct TfmccSender {
     seqno: u64,
     last_rate_adjust_at: f64,
     started: bool,
+    /// Time at which the CLR slot became vacant after a leave or timeout,
+    /// while no replacement candidate was known.  `None` while a CLR is
+    /// installed (or before the first CLR was ever elected).
+    clr_vacant_since: Option<f64>,
     stats: SenderStats,
 }
 
@@ -109,6 +120,7 @@ impl TfmccSender {
             seqno: 0,
             last_rate_adjust_at: 0.0,
             started: false,
+            clr_vacant_since: None,
             stats: SenderStats::default(),
             config,
         }
@@ -169,6 +181,27 @@ impl TfmccSender {
     pub fn feedback_window(&self) -> f64 {
         self.config
             .feedback_window(self.max_rtt(), self.current_rate)
+    }
+
+    /// The local time at which the current feedback round began (meaningful
+    /// once the sender has [started](Self::on_tick)).
+    pub fn round_started_at(&self) -> f64 {
+        self.round_started_at
+    }
+
+    /// True if at least one known receiver qualifies as a CLR candidate —
+    /// i.e. the sender has the information needed to elect a CLR right now.
+    pub fn has_limited_receiver(&self) -> bool {
+        self.receivers
+            .clr_candidate(self.config.initial_rtt)
+            .is_some()
+    }
+
+    /// The time since which the CLR slot has been vacant following a leave
+    /// or timeout, or `None` while a CLR is installed (or none was ever
+    /// elected).
+    pub fn clr_vacant_since(&self) -> Option<f64> {
+        self.clr_vacant_since
     }
 
     /// Processes a receiver report.
@@ -316,6 +349,7 @@ impl TfmccSender {
             self.stats.clr_changes += 1;
             self.clr = None;
             self.previous_clr = None;
+            self.clr_vacant_since = Some(now);
             self.elect_clr_from_known(now);
             // Rate increase toward the (higher-rate) new CLR is limited to
             // one packet per RTT by adjust_rate_toward.
@@ -330,6 +364,17 @@ impl TfmccSender {
                 rtt,
                 last_feedback_at: now,
             });
+            self.note_clr_filled(now);
+        }
+    }
+
+    /// Closes an open CLR vacancy, recording the recovery gap.
+    fn note_clr_filled(&mut self, now: f64) {
+        if let Some(since) = self.clr_vacant_since.take() {
+            let gap = (now - since).max(0.0);
+            if gap > self.stats.max_clr_recovery_secs {
+                self.stats.max_clr_recovery_secs = gap;
+            }
         }
     }
 
@@ -352,6 +397,7 @@ impl TfmccSender {
             self.stats.clr_changes += 1;
         }
         self.clr = Some(new);
+        self.note_clr_filled(now);
     }
 
     fn switch_clr(&mut self, now: f64, to: ClrState) {
@@ -433,6 +479,7 @@ impl TfmccSender {
             self.receivers.remove(id);
             self.clr = None;
             self.previous_clr = None;
+            self.clr_vacant_since = Some(now);
             self.elect_clr_from_known(now);
         }
         // Expire the stored previous CLR.
@@ -488,6 +535,58 @@ impl TfmccSender {
         } else {
             Some(self.echo_queue.remove(0))
         }
+    }
+}
+
+impl StateFingerprint for ClrState {
+    fn fingerprint<H: Hasher>(&self, h: &mut H) {
+        h.write_u64(self.id.0);
+        hash_f64(h, self.rate);
+        hash_f64(h, self.rtt);
+        hash_f64(h, self.last_feedback_at);
+    }
+}
+
+impl StateFingerprint for TfmccSender {
+    /// Hashes every field that influences future behaviour.  The immutable
+    /// configuration and the accumulated [`SenderStats`] (monotone counters
+    /// that never feed back into protocol decisions) are excluded so that
+    /// states with identical future behaviour deduplicate.
+    fn fingerprint<H: Hasher>(&self, h: &mut H) {
+        hash_f64(h, self.current_rate);
+        h.write_u8(self.slowstart as u8);
+        hash_opt_f64(h, self.slowstart_min_recv);
+        hash_f64(h, self.slowstart_target);
+        match &self.clr {
+            Some(clr) => {
+                h.write_u8(1);
+                clr.fingerprint(h);
+            }
+            None => h.write_u8(0),
+        }
+        match &self.previous_clr {
+            Some((clr, valid_until)) => {
+                h.write_u8(1);
+                clr.fingerprint(h);
+                hash_f64(h, *valid_until);
+            }
+            None => h.write_u8(0),
+        }
+        self.receivers.fingerprint(h);
+        h.write_u64(self.feedback_round);
+        hash_f64(h, self.round_started_at);
+        h.write_usize(self.echo_queue.len());
+        for echo in &self.echo_queue {
+            h.write_u64(echo.receiver.0);
+            hash_f64(h, echo.timestamp);
+            hash_f64(h, echo.received_at);
+            h.write_u8(echo.priority);
+            hash_f64(h, echo.rate);
+        }
+        h.write_u64(self.seqno);
+        hash_f64(h, self.last_rate_adjust_at);
+        h.write_u8(self.started as u8);
+        hash_opt_f64(h, self.clr_vacant_since);
     }
 }
 
@@ -744,6 +843,54 @@ mod tests {
             now += 0.01;
         }
         assert_eq!(s.stats().data_packets, 50);
+    }
+
+    #[test]
+    fn clr_recovery_gap_is_recorded_when_vacancy_is_filled_late() {
+        let mut s = sender();
+        let now = 1.0;
+        // A lone receiver becomes CLR, then leaves: no candidate remains, so
+        // the slot stays vacant.
+        let mut fb = feedback(1, 1, now);
+        fb.loss_event_rate = 0.01;
+        fb.calculated_rate = 50_000.0;
+        s.on_feedback(now, &fb);
+        assert_eq!(s.clr(), Some(ReceiverId(1)));
+        assert_eq!(s.clr_vacant_since(), None);
+        let mut leave = feedback(1, 1, now + 0.5);
+        leave.leaving = true;
+        s.on_feedback(now + 0.5, &leave);
+        assert_eq!(s.clr(), None);
+        assert!(!s.has_limited_receiver());
+        assert_eq!(s.clr_vacant_since(), Some(now + 0.5));
+        // A replacement reports 2 seconds later: the vacancy closes and the
+        // gap is recorded.
+        let mut fb2 = feedback(2, 1, now + 2.5);
+        fb2.loss_event_rate = 0.02;
+        fb2.calculated_rate = 40_000.0;
+        s.on_feedback(now + 2.5, &fb2);
+        assert_eq!(s.clr(), Some(ReceiverId(2)));
+        assert_eq!(s.clr_vacant_since(), None);
+        assert!((s.stats().max_clr_recovery_secs - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn immediate_reelection_records_zero_recovery_gap() {
+        let mut s = sender();
+        let now = 1.0;
+        for (id, rate) in [(1u64, 40_000.0), (2, 60_000.0)] {
+            let mut fb = feedback(id, 1, now);
+            fb.loss_event_rate = 0.01;
+            fb.calculated_rate = rate;
+            s.on_feedback(now, &fb);
+        }
+        let mut leave = feedback(1, 1, now + 0.5);
+        leave.leaving = true;
+        s.on_feedback(now + 0.5, &leave);
+        // Receiver 2 was elected in the same step: no open vacancy, zero gap.
+        assert_eq!(s.clr(), Some(ReceiverId(2)));
+        assert_eq!(s.clr_vacant_since(), None);
+        assert_eq!(s.stats().max_clr_recovery_secs, 0.0);
     }
 
     #[test]

@@ -170,6 +170,63 @@ mod tests {
     }
 
     #[test]
+    fn tfrc_receiver_behaves_as_a_permanent_clr() {
+        // The crate's claim: a TFRC flow is a one-receiver TFMCC session
+        // whose receiver reports like a permanent CLR, never suppressed.
+        let mut sim = Simulator::new(304);
+        let a = sim.add_node("a");
+        let b = sim.add_node("b");
+        sim.add_duplex_link(a, b, 125_000.0, 0.02, QueueDiscipline::drop_tail(30));
+        let flow = TfrcSessionBuilder::default().build(&mut sim, a, b);
+        sim.run_until(SimTime::from_secs(60.0));
+        let receiver = flow.as_tfmcc().receiver_agent(&sim, 0).protocol();
+        assert!(
+            receiver.is_clr(),
+            "the only receiver must be the CLR of its session"
+        );
+        assert_eq!(
+            receiver.stats().feedback_suppressed,
+            0,
+            "a lone receiver must never suppress its feedback"
+        );
+        assert!(
+            receiver.stats().feedback_sent > 10,
+            "the CLR reports per RTT"
+        );
+        let sender = flow.as_tfmcc().sender_agent(&sim).protocol();
+        assert_eq!(sender.clr(), Some(tfmcc_proto::packets::ReceiverId(1)));
+    }
+
+    #[test]
+    fn tfrc_rate_responds_to_path_loss() {
+        // Same topology twice: a clean path and a 5%-loss path.  The control
+        // equation must push the lossy flow's rate well below the clean one.
+        let run = |loss: f64, seed: u64| -> f64 {
+            let mut sim = Simulator::new(seed);
+            let a = sim.add_node("a");
+            let b = sim.add_node("b");
+            let (down, _) =
+                sim.add_duplex_link(a, b, 1_250_000.0, 0.02, QueueDiscipline::drop_tail(200));
+            if loss > 0.0 {
+                sim.set_link_loss(down, LossModel::Bernoulli { p: loss });
+            }
+            let flow = TfrcSessionBuilder::default().build(&mut sim, a, b);
+            sim.run_until(SimTime::from_secs(90.0));
+            flow.throughput(&sim, 40.0, 85.0)
+        };
+        let clean = run(0.0, 305);
+        let lossy = run(0.05, 305);
+        assert!(
+            lossy > 1_000.0,
+            "the lossy flow must still progress: {lossy}"
+        );
+        assert!(
+            lossy < clean * 0.5,
+            "5% loss must at least halve the rate: clean {clean}, lossy {lossy}"
+        );
+    }
+
+    #[test]
     fn two_tfrc_flows_need_distinct_groups_and_ports() {
         let mut sim = Simulator::new(303);
         let cfg = DumbbellConfig {

@@ -8,6 +8,7 @@
 //!   history, RTT estimation, feedback suppression);
 //! * [`model`] — TCP throughput models and the analytic machinery;
 //! * [`feedback`] — standalone feedback-suppression analysis;
+//! * [`mc`] — the bounded model checker for the protocol core;
 //! * [`sim`] — the discrete-event packet simulator substrate;
 //! * [`agents`] — simulator bindings and the session builder;
 //! * [`tcp`] — the TCP Reno competing-traffic agent;
@@ -27,6 +28,7 @@ pub use netsim as sim;
 pub use tfmcc_agents as agents;
 pub use tfmcc_experiments as experiments;
 pub use tfmcc_feedback as feedback;
+pub use tfmcc_mc as mc;
 pub use tfmcc_model as model;
 pub use tfmcc_pgmcc as pgmcc;
 pub use tfmcc_proto as proto;

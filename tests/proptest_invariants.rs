@@ -1,7 +1,13 @@
 //! Cross-crate property-based tests on core protocol invariants.
 
+use std::collections::HashSet;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
 use proptest::prelude::*;
 
+use netsim::packet::{FlowId, GroupId, Port};
+use netsim::sim::Simulator;
+use tfmcc::agents::{ReceiverSpec, SessionManager, SessionSpec};
 use tfmcc::model::throughput::{mathis_loss_rate, mathis_throughput, padhye_throughput};
 use tfmcc::proto::config::TfmccConfig;
 use tfmcc::proto::feedback::FeedbackPlanner;
@@ -79,6 +85,74 @@ proptest! {
         prop_assert!(history.packets_received() > 0);
     }
 
+    /// SessionManager allocations are collision-free for any mix of
+    /// explicitly addressed and auto-allocated sessions, in any order: all
+    /// groups and flows are distinct and no port is bound twice — even when
+    /// the explicit sessions squat on values inside the auto-allocation
+    /// range, which the allocator must skip over.
+    #[test]
+    fn session_allocations_never_collide(
+        explicit in proptest::collection::vec(any::<bool>(), 1..8),
+    ) {
+        let mut sim = Simulator::new(1);
+        let a = sim.add_node("sender");
+        let b = sim.add_node("receiver");
+        let mut mgr = SessionManager::new();
+        for (i, &is_explicit) in explicit.iter().enumerate() {
+            let spec = if is_explicit {
+                // Deliberately inside the auto-allocation ranges (groups
+                // from 1, ports from 5000, flows from 100) so later
+                // defaulted sessions must skip forward past these.
+                SessionSpec::default().with_addressing(
+                    GroupId(1 + 2 * i as u32),
+                    Port(5000 + 4 * i as u16),
+                    Port(5001 + 4 * i as u16),
+                    FlowId(100 + 2 * i as u64),
+                )
+            } else {
+                SessionSpec::default()
+            };
+            mgr.add_session(&mut sim, &spec, a, &[ReceiverSpec::always(b)]);
+        }
+        prop_assert_eq!(mgr.len(), explicit.len());
+        let mut groups = HashSet::new();
+        let mut flows = HashSet::new();
+        let mut ports = HashSet::new();
+        for s in mgr.sessions() {
+            prop_assert_eq!(mgr.session(s.id).group, s.group, "handle lookup is stable");
+            prop_assert!(groups.insert(s.group.0), "group {} allocated twice", s.group.0);
+            prop_assert!(flows.insert(s.flow.0), "flow {} allocated twice", s.flow.0);
+            prop_assert!(s.data_port != s.sender_port);
+            prop_assert!(ports.insert(s.data_port.0), "port {} bound twice", s.data_port.0);
+            prop_assert!(ports.insert(s.sender_port.0), "port {} bound twice", s.sender_port.0);
+        }
+    }
+
+    /// All-defaulted sessions get the documented deterministic allocation
+    /// (session i: group 1+i, ports 5000+2i/5001+2i, flow 100+i) regardless
+    /// of how many sessions there are or what their specs say otherwise.
+    #[test]
+    fn auto_allocation_matches_its_documentation(
+        n in 1usize..10,
+        start_ats in proptest::collection::vec(0.0f64..100.0, 10..11),
+    ) {
+        let mut sim = Simulator::new(2);
+        let a = sim.add_node("sender");
+        let b = sim.add_node("receiver");
+        let mut mgr = SessionManager::new();
+        for (i, &start_at) in start_ats.iter().enumerate().take(n) {
+            let spec = SessionSpec::default().starting_at(start_at);
+            let id = mgr.add_session(&mut sim, &spec, a, &[ReceiverSpec::always(b)]);
+            let s = mgr.session(id);
+            prop_assert_eq!(s.group, GroupId(1 + i as u32));
+            prop_assert_eq!(s.data_port, Port(5000 + 2 * i as u16));
+            prop_assert_eq!(s.sender_port, Port(5001 + 2 * i as u16));
+            prop_assert_eq!(s.flow, FlowId(100 + i as u64));
+            prop_assert_eq!(s.start_at, start_at);
+            prop_assert_eq!(s.receivers.len(), 1);
+        }
+    }
+
     /// The RTT estimator never reports a non-positive estimate and converges
     /// to constant samples.
     #[test]
@@ -94,4 +168,98 @@ proptest! {
         }
         prop_assert!((est.current() - last.max(1e-4)).abs() < 0.05 * last.max(1e-4) + 1e-6);
     }
+}
+
+/// Every documented `add_session` panic fires with its documented message on
+/// the corresponding bad input, and a rejected spec leaves the manager
+/// untouched (validation runs before any agent is attached).
+#[test]
+fn session_manager_validation_panics_are_exhaustive() {
+    let mut sim = Simulator::new(3);
+    let a = sim.add_node("sender");
+    let b = sim.add_node("receiver");
+    let mut mgr = SessionManager::new();
+    mgr.add_session(
+        &mut sim,
+        &SessionSpec::default(),
+        a,
+        &[ReceiverSpec::always(b)],
+    );
+
+    let mut expect_panic = |spec: SessionSpec, receivers: Vec<ReceiverSpec>, needle: &str| {
+        let before = mgr.len();
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            mgr.add_session(&mut sim, &spec, a, &receivers);
+        }))
+        .expect_err(&format!("bad input must panic (wanted: {needle})"));
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default();
+        assert!(
+            msg.contains(needle),
+            "panic message {msg:?} does not mention {needle:?}"
+        );
+        assert_eq!(mgr.len(), before, "a rejected spec must not half-register");
+    };
+
+    expect_panic(SessionSpec::default(), vec![], "at least one receiver");
+    expect_panic(
+        SessionSpec::default().starting_at(f64::NAN),
+        vec![ReceiverSpec::always(b)],
+        "start_at must be finite",
+    );
+    expect_panic(
+        SessionSpec::default().with_meter_bin(0.0),
+        vec![ReceiverSpec::always(b)],
+        "meter_bin must be a positive",
+    );
+    expect_panic(
+        SessionSpec::default().with_addressing(GroupId(9), Port(7000), Port(7000), FlowId(9)),
+        vec![ReceiverSpec::always(b)],
+        "must differ",
+    );
+    expect_panic(
+        SessionSpec::default(),
+        vec![ReceiverSpec::joining_at(b, -1.0)],
+        "join_at must be finite",
+    );
+    expect_panic(
+        SessionSpec::default(),
+        vec![ReceiverSpec::joining_at(b, 5.0).leaving_at(4.0)],
+        "must be finite and after join_at",
+    );
+    expect_panic(
+        SessionSpec::default(),
+        vec![ReceiverSpec::always(b).leaving_at(10.0).churning(2.0, 2.0)],
+        "leave_at and churn are exclusive",
+    );
+    expect_panic(
+        SessionSpec::default(),
+        vec![ReceiverSpec::always(b).churning(0.0, 2.0)],
+        "churn periods must be positive",
+    );
+    // Collisions with the session added above (group 1, ports 5000/5001,
+    // flow 100).
+    expect_panic(
+        SessionSpec::default().with_addressing(GroupId(1), Port(7000), Port(7001), FlowId(9)),
+        vec![ReceiverSpec::always(b)],
+        "already uses multicast group",
+    );
+    expect_panic(
+        SessionSpec::default().with_addressing(GroupId(9), Port(7000), Port(7001), FlowId(100)),
+        vec![ReceiverSpec::always(b)],
+        "already uses flow id",
+    );
+    expect_panic(
+        SessionSpec::default().with_addressing(GroupId(9), Port(5000), Port(7001), FlowId(9)),
+        vec![ReceiverSpec::always(b)],
+        "overlapping ports would",
+    );
+    expect_panic(
+        SessionSpec::default().with_addressing(GroupId(9), Port(7000), Port(5001), FlowId(9)),
+        vec![ReceiverSpec::always(b)],
+        "reports would",
+    );
 }

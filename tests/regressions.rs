@@ -1,0 +1,110 @@
+//! Counterexample regression suite: every `tests/regressions/*.replay` file
+//! is re-executed deterministically on every test run.
+//!
+//! Replay files are `tfmcc-replay-v1` (see `tfmcc_mc::replay`) and come in
+//! two kinds:
+//!
+//! * `kind=model-check` — an action schedule for a model-checker preset.
+//!   With an `invariant=` key the schedule must still violate exactly that
+//!   invariant (a known-bad scenario kept as a tripwire); without one it is
+//!   *quarantined*: a scenario that once looked dangerous and must now
+//!   replay clean under all invariants.
+//! * `kind=scenario` — a full-simulation point from the worst-case scenario
+//!   search, whose recorded Jain index and CLR recovery time must reproduce
+//!   **bit-identically**.
+//!
+//! New counterexamples arrive via `mc_check --out FILE` or the scenario
+//! search's `TFMCC_REPLAY_DIR`; drop the file in `tests/regressions/` and
+//! this suite picks it up — no code change needed.
+//! `cargo run -p tfmcc-experiments --example gen_regressions` regenerates
+//! the seed files after an intentional protocol change.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use tfmcc::experiments::scenario_search::replay_scenario;
+use tfmcc::mc::{run_schedule, Action, McConfig, McModel, Replay};
+
+fn regression_files() -> Vec<PathBuf> {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/regressions");
+    let mut files: Vec<PathBuf> = fs::read_dir(dir)
+        .expect("tests/regressions must exist")
+        .map(|entry| entry.expect("readable dir entry").path())
+        .filter(|path| path.extension().is_some_and(|ext| ext == "replay"))
+        .collect();
+    files.sort();
+    files
+}
+
+fn replay_model_check(path: &Path, replay: &Replay) {
+    let preset = replay.require("preset").unwrap();
+    let config = McConfig::preset(preset)
+        .unwrap_or_else(|| panic!("{}: unknown preset '{preset}'", path.display()));
+    let model = McModel::new(config);
+    let schedule: Vec<Action> = replay
+        .require("schedule")
+        .unwrap()
+        .split_whitespace()
+        .map(|s| {
+            s.parse()
+                .unwrap_or_else(|e| panic!("{}: {e}", path.display()))
+        })
+        .collect();
+    assert!(!schedule.is_empty(), "{}: empty schedule", path.display());
+    match replay.get("invariant") {
+        Some(invariant) => {
+            let err = run_schedule(&model, &schedule).expect_err("known-bad schedule");
+            assert!(
+                err.contains(invariant),
+                "{}: expected a violation of {invariant}, got: {err}",
+                path.display()
+            );
+        }
+        None => {
+            run_schedule(&model, &schedule).unwrap_or_else(|e| {
+                panic!(
+                    "{}: quarantined schedule no longer replays clean: {e}",
+                    path.display()
+                )
+            });
+        }
+    }
+}
+
+#[test]
+fn all_checked_in_replays_reexecute() {
+    let files = regression_files();
+    assert!(
+        files.len() >= 2,
+        "expected at least the two seed replays, found {files:?}"
+    );
+    for path in &files {
+        let text = fs::read_to_string(path).unwrap();
+        let replay = Replay::parse(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        match replay.get("kind") {
+            Some("model-check") => replay_model_check(path, &replay),
+            Some("scenario") => {
+                replay_scenario(&replay)
+                    .unwrap_or_else(|e| panic!("{}: scenario diverged: {e}", path.display()));
+            }
+            other => panic!("{}: unknown replay kind {other:?}", path.display()),
+        }
+    }
+}
+
+#[test]
+fn seed_replays_cover_both_kinds() {
+    let files = regression_files();
+    let kinds: Vec<String> = files
+        .iter()
+        .map(|path| {
+            Replay::parse(&fs::read_to_string(path).unwrap())
+                .unwrap()
+                .get("kind")
+                .unwrap()
+                .to_string()
+        })
+        .collect();
+    assert!(kinds.iter().any(|k| k == "model-check"));
+    assert!(kinds.iter().any(|k| k == "scenario"));
+}
