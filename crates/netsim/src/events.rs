@@ -39,13 +39,14 @@ use crate::time::SimTime;
 /// How the simulator's event queue is implemented.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum SchedulerKind {
-    /// The binary-heap scheduler (the default): `O(log n)` push/pop on a
-    /// `BinaryHeap`, cancellation via tombstones drained on pop.
-    #[default]
+    /// The binary-heap scheduler (the fallback, `TFMCC_SCHEDULER=heap`):
+    /// `O(log n)` push/pop on a `BinaryHeap`, cancellation via tombstones
+    /// drained on pop.
     Heap,
-    /// The calendar-queue scheduler: amortized `O(1)` push/pop on a bucketed
-    /// rotating wheel that resizes itself on load-factor drift, cancellation
-    /// by in-place bucket removal.
+    /// The calendar-queue scheduler (the default): amortized `O(1)` push/pop
+    /// on a bucketed rotating wheel that resizes itself on load-factor
+    /// drift, cancellation by in-place bucket removal.
+    #[default]
     Calendar,
 }
 
@@ -70,7 +71,7 @@ impl SchedulerKind {
 
     /// Resolves the scheduler for a new simulation: the `TFMCC_SCHEDULER`
     /// environment override when set, otherwise the built-in default
-    /// ([`SchedulerKind::Heap`]).
+    /// ([`SchedulerKind::Calendar`]).
     pub fn resolve() -> Self {
         Self::from_env().unwrap_or_default()
     }
@@ -864,7 +865,7 @@ mod tests {
     fn scheduler_kind_env_round_trip() {
         // `SchedulerKind::from_env` is exercised via the string matcher only;
         // mutating the process environment here would race other tests.
-        assert_eq!(SchedulerKind::default(), SchedulerKind::Heap);
+        assert_eq!(SchedulerKind::default(), SchedulerKind::Calendar);
         assert_eq!(SchedulerKind::Heap.build::<u8>().len(), 0);
         assert_eq!(SchedulerKind::Calendar.build::<u8>().len(), 0);
     }

@@ -6,6 +6,8 @@
 //! topologies of Sections 4.2–4.3, the tail circuits of Figure 10) are
 //! specified: per-direction bandwidth, delay and loss.
 
+use std::collections::VecDeque;
+
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -81,8 +83,21 @@ pub struct Link {
     /// Random loss model applied at ingress.
     pub loss: LossModel,
     queue: Queue,
-    /// Packet currently being serialized onto the wire, if any.
+    /// Packet currently being serialized onto the wire, if any (RED links
+    /// and the head-of-burst packet of an idle→busy transition).
     in_flight: Option<Packet>,
+    /// Completion horizon of the current drained burst (drop-tail links
+    /// only): the link is busy until this time, and the one pending
+    /// `TxComplete` event fires exactly then.  `None` when no burst is in
+    /// progress.
+    batch_until: Option<SimTime>,
+    /// Transmission start times (ascending) of burst packets whose
+    /// serialization has not yet begun at the current simulated time.  A
+    /// burst drain hands every queued packet's future delivery to the
+    /// caller at once, but each packet still occupies a queue slot until
+    /// its transmission starts — these timestamps are what keeps the
+    /// drop-tail limit check exact under batching.
+    pending_starts: VecDeque<SimTime>,
     /// This link's private RNG stream for loss and RED draws.  Each link is
     /// seeded independently (splitmix64 over the simulation seed and the
     /// link id), so one link's draw sequence never shifts when other links
@@ -140,6 +155,8 @@ impl Link {
             loss: LossModel::None,
             queue: Queue::new(discipline),
             in_flight: None,
+            batch_until: None,
+            pending_starts: VecDeque::new(),
             rng: SmallRng::seed_from_u64(seed),
             stats: LinkStats::default(),
         }
@@ -150,9 +167,11 @@ impl Link {
         f64::from(size) / self.bandwidth
     }
 
-    /// Number of packets waiting in the queue (not counting the one in flight).
+    /// Number of packets waiting for their transmission to start (not
+    /// counting the one in flight).  Burst-drained packets whose start time
+    /// has not yet passed may still be counted.
     pub fn queue_len(&self) -> usize {
-        self.queue.len()
+        self.queue.len() + self.pending_starts.len()
     }
 
     /// Offers a packet to this link, drawing any needed loss/RED samples
@@ -180,7 +199,7 @@ impl Link {
             self.stats.dropped_loss += 1;
             return LinkAccept::Dropped;
         }
-        if self.in_flight.is_none() {
+        if self.in_flight.is_none() && self.batch_until.is_none() {
             // Link idle: begin transmitting immediately, bypassing the queue.
             let done = now + self.tx_time(packet.size);
             self.stats.enqueued += 1;
@@ -189,7 +208,15 @@ impl Link {
                 tx_complete_at: Some(done),
             };
         }
-        match self.queue.enqueue(packet, now, queue_uniform) {
+        // Burst packets stop occupying queue slots once their transmission
+        // has started.
+        while self.pending_starts.front().is_some_and(|&s| s <= now) {
+            self.pending_starts.pop_front();
+        }
+        match self
+            .queue
+            .enqueue_offset(packet, now, queue_uniform, self.pending_starts.len())
+        {
             EnqueueResult::Queued => {
                 self.stats.enqueued += 1;
                 LinkAccept::Accepted {
@@ -203,30 +230,69 @@ impl Link {
         }
     }
 
-    /// Completes the transmission of the in-flight packet.
+    /// Completes the transmission of the in-flight packet (or settles the
+    /// current burst) and, on drop-tail links, drains the whole queue as one
+    /// burst.
     ///
-    /// Returns the packet that finished serializing (to be delivered to the
-    /// downstream node after [`Link::delay`]) and, if another packet was
-    /// waiting, the completion time of its transmission.
-    pub fn tx_complete(&mut self, now: SimTime) -> (Packet, Option<SimTime>) {
-        let done = self
-            .in_flight
-            .take()
-            .expect("tx_complete called with no packet in flight");
-        self.stats.delivered += 1;
-        self.stats.delivered_bytes += u64::from(done.size);
-        let next = self.queue.dequeue(now);
-        let next_complete = next.map(|p| {
-            let t = now + self.tx_time(p.size);
-            self.in_flight = Some(p);
-            t
-        });
-        (done, next_complete)
+    /// Every `(packet, completion_time)` pair pushed onto `out` is a packet
+    /// whose serialization finishes at that time — the caller delivers each
+    /// to the downstream node after [`Link::delay`].  Returns the time of
+    /// the next `TxComplete` event to schedule, if the link stays busy.
+    ///
+    /// Draining the queue in one event (instead of one event per packet) is
+    /// what keeps the event count per congested-link packet at one; RED
+    /// links keep the per-packet path because their average-queue estimator
+    /// depends on the actual dequeue times.
+    pub fn tx_complete(
+        &mut self,
+        now: SimTime,
+        out: &mut Vec<(Packet, SimTime)>,
+    ) -> Option<SimTime> {
+        if let Some(done) = self.in_flight.take() {
+            self.stats.delivered += 1;
+            self.stats.delivered_bytes += u64::from(done.size);
+            out.push((done, now));
+        } else {
+            debug_assert_eq!(
+                self.batch_until,
+                Some(now),
+                "tx_complete with no packet in flight and no burst ending now"
+            );
+        }
+        self.batch_until = None;
+        self.pending_starts.clear();
+        if self.queue.is_drop_tail() {
+            // Burst drain: packet i starts when packet i-1 completes, so the
+            // completion chain is the same iterative sum the per-packet path
+            // would compute event by event.
+            let mut t = now;
+            while let Some(p) = self.queue.dequeue(now) {
+                if t > now {
+                    self.pending_starts.push_back(t);
+                }
+                t += self.tx_time(p.size);
+                self.stats.delivered += 1;
+                self.stats.delivered_bytes += u64::from(p.size);
+                out.push((p, t));
+            }
+            if t > now {
+                self.batch_until = Some(t);
+                Some(t)
+            } else {
+                None
+            }
+        } else {
+            self.queue.dequeue(now).map(|p| {
+                let t = now + self.tx_time(p.size);
+                self.in_flight = Some(p);
+                t
+            })
+        }
     }
 
     /// True if a packet is currently being serialized.
     pub fn is_busy(&self) -> bool {
-        self.in_flight.is_some()
+        self.in_flight.is_some() || self.batch_until.is_some()
     }
 }
 
@@ -277,16 +343,87 @@ mod tests {
             }
         );
         assert_eq!(l.queue_len(), 1);
-        // First completes at t=1.0; the second starts then and takes 0.5 s.
-        let (done, next) = l.tx_complete(SimTime::from_secs(1.0));
-        assert_eq!(done.size, 1000);
+        // First completes at t=1.0; the queued packet drains as a burst that
+        // starts then and takes 0.5 s.
+        let mut out = Vec::new();
+        let next = l.tx_complete(SimTime::from_secs(1.0), &mut out);
         assert_eq!(next.unwrap().as_secs(), 1.5);
-        let (done2, next2) = l.tx_complete(SimTime::from_secs(1.5));
-        assert_eq!(done2.size, 500);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].0.size, 1000);
+        assert_eq!(out[0].1.as_secs(), 1.0);
+        assert_eq!(out[1].0.size, 500);
+        assert_eq!(out[1].1.as_secs(), 1.5);
+        assert!(l.is_busy());
+        // The burst-end event settles the link.
+        out.clear();
+        let next2 = l.tx_complete(SimTime::from_secs(1.5), &mut out);
         assert!(next2.is_none());
+        assert!(out.is_empty());
         assert!(!l.is_busy());
         assert_eq!(l.stats.delivered, 2);
         assert_eq!(l.stats.delivered_bytes, 1500);
+    }
+
+    #[test]
+    fn burst_drained_packets_still_occupy_queue_slots() {
+        // Limit 2: one in flight (free), two queued.
+        let mut l = link(1000.0, 0.001, 2);
+        l.offer_sampled(pkt(1000), SimTime::ZERO, 0.9, 0.9); // in flight, done t=1
+        l.offer_sampled(pkt(1000), SimTime::ZERO, 0.9, 0.9); // starts t=1
+        l.offer_sampled(pkt(1000), SimTime::ZERO, 0.9, 0.9); // starts t=2
+        let mut out = Vec::new();
+        let next = l.tx_complete(SimTime::from_secs(1.0), &mut out);
+        assert_eq!(next.unwrap().as_secs(), 3.0);
+        assert_eq!(out.len(), 3);
+        // At t=1.5 the second packet is transmitting and the third still
+        // waits: exactly one slot is occupied, so one more offer fits and a
+        // second one overflows — the same decisions the per-packet path
+        // would have made.
+        assert!(matches!(
+            l.offer_sampled(pkt(1000), SimTime::from_secs(1.5), 0.9, 0.9),
+            LinkAccept::Accepted { .. }
+        ));
+        assert_eq!(
+            l.offer_sampled(pkt(1000), SimTime::from_secs(1.5), 0.9, 0.9),
+            LinkAccept::Dropped
+        );
+        // At t=2.5 only the (newly queued) fourth packet occupies a slot.
+        assert!(matches!(
+            l.offer_sampled(pkt(1000), SimTime::from_secs(2.5), 0.9, 0.9),
+            LinkAccept::Accepted { .. }
+        ));
+        // The burst-end event picks the late arrivals up as the next burst.
+        out.clear();
+        let next = l.tx_complete(SimTime::from_secs(3.0), &mut out);
+        assert_eq!(next.unwrap().as_secs(), 5.0);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].1.as_secs(), 4.0);
+        assert_eq!(out[1].1.as_secs(), 5.0);
+    }
+
+    #[test]
+    fn red_links_keep_the_per_packet_path() {
+        let mut l = Link::new(
+            LinkId(0),
+            NodeId(0),
+            NodeId(1),
+            1000.0,
+            0.001,
+            QueueDiscipline::red(10),
+            1,
+        );
+        l.offer_sampled(pkt(1000), SimTime::ZERO, 0.9, 0.9);
+        l.offer_sampled(pkt(500), SimTime::ZERO, 0.9, 0.9);
+        l.offer_sampled(pkt(500), SimTime::ZERO, 0.9, 0.9);
+        let mut out = Vec::new();
+        // One completion per event: the queue drains a packet at a time.
+        let next = l.tx_complete(SimTime::from_secs(1.0), &mut out);
+        assert_eq!(next.unwrap().as_secs(), 1.5);
+        assert_eq!(out.len(), 1);
+        out.clear();
+        let next = l.tx_complete(SimTime::from_secs(1.5), &mut out);
+        assert_eq!(next.unwrap().as_secs(), 2.0);
+        assert_eq!(out.len(), 1);
     }
 
     #[test]

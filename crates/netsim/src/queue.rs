@@ -115,12 +115,32 @@ impl Queue {
         self.bytes
     }
 
+    /// True for drop-tail queues, whose drop decision depends only on the
+    /// instantaneous occupancy — the property the link layer's burst
+    /// draining relies on.
+    pub fn is_drop_tail(&self) -> bool {
+        matches!(self.discipline, QueueDiscipline::DropTail { .. })
+    }
+
     /// Offers a packet to the queue.  `uniform` must be a fresh uniform random
     /// sample in `[0, 1)` (used only by RED).
     pub fn enqueue(&mut self, packet: Packet, now: SimTime, uniform: f64) -> EnqueueResult {
+        self.enqueue_offset(packet, now, uniform, 0)
+    }
+
+    /// [`Queue::enqueue`] with `offset` phantom occupants counted against
+    /// the hard limit: packets the link has burst-drained but whose
+    /// transmission has not started yet still hold a queue slot.
+    pub fn enqueue_offset(
+        &mut self,
+        packet: Packet,
+        now: SimTime,
+        uniform: f64,
+        offset: usize,
+    ) -> EnqueueResult {
         match &self.discipline {
             QueueDiscipline::DropTail { limit_packets } => {
-                if self.packets.len() >= *limit_packets {
+                if self.packets.len() + offset >= *limit_packets {
                     EnqueueResult::DroppedFull
                 } else {
                     self.bytes += u64::from(packet.size);

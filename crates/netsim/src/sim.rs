@@ -152,6 +152,8 @@ pub struct World {
     rng: SmallRng,
     fanout_mode: FanoutMode,
     events_processed: u64,
+    /// Reused scratch buffer for link burst drains (packet, completion time).
+    tx_scratch: Vec<(Packet, SimTime)>,
 }
 
 impl World {
@@ -177,6 +179,7 @@ impl World {
             rng: SmallRng::seed_from_u64(seed),
             fanout_mode: FanoutMode::Shared,
             events_processed: 0,
+            tx_scratch: Vec::new(),
         }
     }
 
@@ -377,10 +380,20 @@ impl World {
 
     fn handle_link_tx_complete(&mut self, link_id: LinkId) {
         let now = self.now;
-        let (packet, next) = self.links[link_id.0].tx_complete(now);
+        let mut out = std::mem::take(&mut self.tx_scratch);
+        let next = self.links[link_id.0].tx_complete(now, &mut out);
         let delay = self.links[link_id.0].delay;
         let to = self.links[link_id.0].to;
-        self.push_event(now + delay, EventKind::NodeArrival { node: to, packet });
+        // On drop-tail links the whole queue drains as one burst: every
+        // future arrival is scheduled here and a single `LinkTxComplete`
+        // marks the end of the burst, instead of one event per packet.
+        for (packet, completes_at) in out.drain(..) {
+            self.push_event(
+                completes_at + delay,
+                EventKind::NodeArrival { node: to, packet },
+            );
+        }
+        self.tx_scratch = out;
         if let Some(t) = next {
             self.push_event(t, EventKind::LinkTxComplete { link: link_id });
         }

@@ -11,16 +11,26 @@
 //! independent sessions in one simulation** (per-session group/port/flow
 //! allocation, staggered starts, per-session reports and cross-session
 //! fairness metrics), the substrate of the inter-TFMCC experiments.
+//!
+//! Receiver populations are specified through the unified
+//! [`PopulationSpec`] surface: packet-level receivers run exact per-receiver
+//! agents, while [`population::FluidPopulationAgent`] stands in for entire
+//! *fluid* populations — `(count, loss distribution, RTT distribution)`
+//! aggregates whose feedback is computed analytically and injected as
+//! population-weighted reports — which is what makes single sessions of 10⁶
+//! receivers tractable.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod manager;
+pub mod population;
 pub mod receiver_agent;
 pub mod sender_agent;
 pub mod session;
 
 pub use manager::{SessionId, SessionManager, SessionReport, SessionSpec, SessionSummary};
+pub use population::{FluidPopulationAgent, FluidSpec, PopulationSpec};
 pub use receiver_agent::TfmccReceiverAgent;
 pub use sender_agent::TfmccSenderAgent;
 pub use session::{ReceiverSpec, TfmccSession, TfmccSessionBuilder};

@@ -45,6 +45,7 @@ use tfmcc_proto::config::TfmccConfig;
 use tfmcc_proto::packets::ReceiverId;
 use tfmcc_proto::sender::SenderStats;
 
+use crate::population::{FluidPopulationAgent, PopulationSpec, FLUID_ID_BASE, FLUID_ID_POP_SHIFT};
 use crate::receiver_agent::TfmccReceiverAgent;
 use crate::sender_agent::TfmccSenderAgent;
 use crate::session::ReceiverSpec;
@@ -142,8 +143,12 @@ pub struct SessionHandle {
     pub sender: AgentId,
     /// The node the sender runs on.
     pub sender_node: NodeId,
-    /// The receiver agents, in the order of the specs passed when adding.
+    /// The packet-level receiver agents, in the order of the specs passed
+    /// when adding.
     pub receivers: Vec<AgentId>,
+    /// The fluid population agents, in the order of the fluid specs passed
+    /// when adding (empty for a pure packet-level session).
+    pub fluid: Vec<AgentId>,
     /// The session's multicast group.
     pub group: GroupId,
     /// The port data packets are addressed to.
@@ -165,8 +170,12 @@ pub struct SessionSummary {
     pub group: GroupId,
     /// The flow id tagging the session's data packets.
     pub flow: FlowId,
-    /// Number of receivers in the session.
+    /// Number of packet-level receivers in the session.
     pub receivers: usize,
+    /// Total receivers the session stands for at the end of the run: every
+    /// packet-level receiver the sender knows plus the weights of all fluid
+    /// population bins that reported.
+    pub population: u64,
     /// Mean receiver throughput over the report window, bytes/second.
     pub mean_throughput: f64,
     /// Throughput trace (time, bytes/second) of the probe receiver (the
@@ -270,22 +279,60 @@ impl SessionManager {
         &self.sessions[id.0]
     }
 
-    /// Adds one session: attaches its sender to `sender_node` and one
-    /// receiver agent per spec, all wired to the session's group and ports.
+    /// Adds one session specified as a plain packet-level receiver list.
     ///
-    /// # Panics
-    ///
-    /// Panics with a descriptive message when the spec is invalid: no
-    /// receivers, non-finite or negative times, non-positive churn periods,
-    /// or a group/port/flow assignment overlapping a previously added
-    /// session (see [`SessionSpec`] for the auto-allocation that makes
-    /// overlaps impossible by default).
+    /// Thin shim over [`Self::add_population_session`], the unified entry
+    /// point that also accepts fluid populations;
+    /// [`PopulationSpec::packets`] wraps a `ReceiverSpec` slice.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use add_population_session (PopulationSpec::packets wraps a ReceiverSpec slice)"
+    )]
     pub fn add_session(
         &mut self,
         sim: &mut Simulator,
         spec: &SessionSpec,
         sender_node: NodeId,
         receivers: &[ReceiverSpec],
+    ) -> SessionId {
+        self.add_population_session(sim, spec, sender_node, &PopulationSpec::packets(receivers))
+    }
+
+    /// Adds one session: attaches its sender to `sender_node`, one receiver
+    /// agent per [`PopulationSpec::Packet`] entry and one fluid population
+    /// agent per [`PopulationSpec::Fluid`] entry, all wired to the session's
+    /// group and ports.
+    ///
+    /// Packet-level receivers take `ReceiverId`s 1, 2, … in the order of
+    /// their entries — identical to a pure packet-level session over the
+    /// same cohort, which is what the hybrid equivalence tests pin.  Fluid
+    /// populations report under synthetic ids starting at
+    /// [`FLUID_ID_BASE`].
+    ///
+    /// **CLR-cohort promotion rule:** the packet-level cohort must be able
+    /// to produce the CLR, so at least one packet-level receiver is
+    /// required, and the cohort should cover the lower tail of the rate
+    /// distribution (the lossiest / slowest receivers).  A fluid bin *can*
+    /// temporarily hold the CLR — its reports are complete feedback packets
+    /// — but a session whose steady-state CLR is a fluid bin is governed by
+    /// an analytic aggregate rather than a simulated receiver; treat that
+    /// as a sign the cohort needs re-provisioning.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a descriptive message when the spec is invalid: an empty
+    /// population, a hybrid session without a packet-level receiver, an
+    /// invalid fluid profile (zero count, bins outside 1..=64, loss outside
+    /// `[0, 1)`, non-positive RTT), non-finite or negative times,
+    /// non-positive churn periods, or a group/port/flow assignment
+    /// overlapping a previously added session (see [`SessionSpec`] for the
+    /// auto-allocation that makes overlaps impossible by default).
+    pub fn add_population_session(
+        &mut self,
+        sim: &mut Simulator,
+        spec: &SessionSpec,
+        sender_node: NodeId,
+        populations: &[PopulationSpec],
     ) -> SessionId {
         let id = SessionId(self.sessions.len());
         let index = id.0;
@@ -334,7 +381,7 @@ impl SessionManager {
             sender_port,
             flow,
             sender_node,
-            receivers,
+            populations,
         );
 
         let sender_addr = netsim::packet::Address::new(sender_node, sender_port);
@@ -350,31 +397,50 @@ impl SessionManager {
         }
         let sender = sim.add_agent(sender_node, sender_port, Box::new(sender_agent));
 
-        let mut receiver_ids = Vec::with_capacity(receivers.len());
-        for (i, rspec) in receivers.iter().enumerate() {
-            let mut agent = TfmccReceiverAgent::new(
-                ReceiverId(i as u64 + 1),
-                spec.config.clone(),
-                sender_addr,
-                group,
-                flow,
-            )
-            .with_meter_bin(spec.meter_bin)
-            .joining_at(rspec.join_at);
-            if let Some(t) = rspec.leave_at {
-                agent = agent.leaving_at(t);
+        let mut receiver_ids = Vec::new();
+        let mut fluid_ids = Vec::new();
+        for pspec in populations {
+            match pspec {
+                PopulationSpec::Packet(rspec) => {
+                    let mut agent = TfmccReceiverAgent::new(
+                        ReceiverId(receiver_ids.len() as u64 + 1),
+                        spec.config.clone(),
+                        sender_addr,
+                        group,
+                        flow,
+                    )
+                    .with_meter_bin(spec.meter_bin)
+                    .joining_at(rspec.join_at);
+                    if let Some(t) = rspec.leave_at {
+                        agent = agent.leaving_at(t);
+                    }
+                    if let Some((on_secs, off_secs)) = rspec.churn {
+                        agent = agent.churning(on_secs, off_secs);
+                    }
+                    let agent_id = sim.add_agent(rspec.node, data_port, Box::new(agent));
+                    receiver_ids.push(agent_id);
+                }
+                PopulationSpec::Fluid(fspec) => {
+                    let id_base = FLUID_ID_BASE + ((fluid_ids.len() as u64) << FLUID_ID_POP_SHIFT);
+                    let agent = FluidPopulationAgent::new(
+                        fspec,
+                        spec.config.clone(),
+                        id_base,
+                        sender_addr,
+                        group,
+                        flow,
+                    );
+                    let agent_id = sim.add_agent(fspec.node, data_port, Box::new(agent));
+                    fluid_ids.push(agent_id);
+                }
             }
-            if let Some((on_secs, off_secs)) = rspec.churn {
-                agent = agent.churning(on_secs, off_secs);
-            }
-            let agent_id = sim.add_agent(rspec.node, data_port, Box::new(agent));
-            receiver_ids.push(agent_id);
         }
         self.sessions.push(SessionHandle {
             id,
             sender,
             sender_node,
             receivers: receiver_ids,
+            fluid: fluid_ids,
             group,
             data_port,
             sender_port,
@@ -395,11 +461,17 @@ impl SessionManager {
         sender_port: Port,
         flow: FlowId,
         sender_node: NodeId,
-        receivers: &[ReceiverSpec],
+        populations: &[PopulationSpec],
     ) {
         assert!(
-            !receivers.is_empty(),
+            !populations.is_empty(),
             "a TFMCC session needs at least one receiver"
+        );
+        assert!(
+            populations
+                .iter()
+                .any(|p| matches!(p, PopulationSpec::Packet(_))),
+            "a hybrid session needs at least one packet-level receiver (the CLR cohort)"
         );
         assert!(
             spec.start_at.is_finite() && spec.start_at >= 0.0,
@@ -416,28 +488,38 @@ impl SessionManager {
             "data port and sender report port must differ, got {} for both",
             data_port.0
         );
-        for (i, r) in receivers.iter().enumerate() {
-            assert!(
-                r.join_at.is_finite() && r.join_at >= 0.0,
-                "receiver {i}: join_at must be finite and ≥ 0, got {}",
-                r.join_at
-            );
-            if let Some(leave_at) = r.leave_at {
-                assert!(
-                    leave_at.is_finite() && leave_at > r.join_at,
-                    "receiver {i}: leave_at ({leave_at}) must be finite and after join_at ({})",
-                    r.join_at
-                );
-                assert!(
-                    r.churn.is_none(),
-                    "receiver {i}: leave_at and churn are exclusive"
-                );
-            }
-            if let Some((on_secs, off_secs)) = r.churn {
-                assert!(
-                    on_secs.is_finite() && on_secs > 0.0 && off_secs.is_finite() && off_secs > 0.0,
-                    "receiver {i}: churn periods must be positive and finite, got on={on_secs} off={off_secs}"
-                );
+        for (i, p) in populations.iter().enumerate() {
+            match p {
+                PopulationSpec::Packet(r) => {
+                    assert!(
+                        r.join_at.is_finite() && r.join_at >= 0.0,
+                        "receiver {i}: join_at must be finite and ≥ 0, got {}",
+                        r.join_at
+                    );
+                    if let Some(leave_at) = r.leave_at {
+                        assert!(
+                            leave_at.is_finite() && leave_at > r.join_at,
+                            "receiver {i}: leave_at ({leave_at}) must be finite and after join_at ({})",
+                            r.join_at
+                        );
+                        assert!(
+                            r.churn.is_none(),
+                            "receiver {i}: leave_at and churn are exclusive"
+                        );
+                    }
+                    if let Some((on_secs, off_secs)) = r.churn {
+                        assert!(
+                            on_secs.is_finite()
+                                && on_secs > 0.0
+                                && off_secs.is_finite()
+                                && off_secs > 0.0,
+                            "receiver {i}: churn periods must be positive and finite, got on={on_secs} off={off_secs}"
+                        );
+                    }
+                }
+                // Panics with the PopulationProfile messages (count > 0,
+                // bins in 1..=64, loss within [0, 1), positive finite RTT).
+                PopulationSpec::Fluid(f) => f.profile().validate(),
             }
         }
         for other in &self.sessions {
@@ -477,6 +559,18 @@ impl SessionManager {
     pub fn sender_agent<'a>(&self, sim: &'a Simulator, id: SessionId) -> &'a TfmccSenderAgent {
         sim.agent(self.session(id).sender)
             .expect("sender agent exists")
+    }
+
+    /// Borrow a session's fluid population agent by index (the order of the
+    /// fluid entries passed when adding).
+    pub fn fluid_agent<'a>(
+        &self,
+        sim: &'a Simulator,
+        id: SessionId,
+        index: usize,
+    ) -> &'a FluidPopulationAgent {
+        sim.agent(self.session(id).fluid[index])
+            .expect("fluid population agent exists")
     }
 
     /// Borrow a session's receiver agent by index.
@@ -534,6 +628,7 @@ impl SessionManager {
                     group: handle.group,
                     flow: handle.flow,
                     receivers: handle.receivers.len(),
+                    population: sender.session_population(),
                     mean_throughput: self.session_throughput(sim, handle.id, from, to),
                     probe_trace: self.receiver_agent(sim, handle.id, 0).meter().series(),
                     clr: sender.clr(),
@@ -560,20 +655,20 @@ mod tests {
         let mut sim = Simulator::new(7);
         let st = star_with_legs(&mut sim, 4);
         let mut mgr = SessionManager::new();
-        let a = mgr.add_session(
+        let a = mgr.add_population_session(
             &mut sim,
             &SessionSpec::default(),
             st.sender,
             &[
-                ReceiverSpec::always(st.receivers[0]),
-                ReceiverSpec::always(st.receivers[1]),
+                PopulationSpec::packet(st.receivers[0]),
+                PopulationSpec::packet(st.receivers[1]),
             ],
         );
-        let b = mgr.add_session(
+        let b = mgr.add_population_session(
             &mut sim,
             &SessionSpec::default(),
             st.receivers[2],
-            &[ReceiverSpec::always(st.receivers[3])],
+            &[PopulationSpec::packet(st.receivers[3])],
         );
         assert_eq!(mgr.len(), 2);
         let a = mgr.session(a);
@@ -598,23 +693,23 @@ mod tests {
         // flow 101).
         let explicit =
             SessionSpec::default().with_addressing(GroupId(2), Port(5002), Port(5003), FlowId(101));
-        mgr.add_session(
+        mgr.add_population_session(
             &mut sim,
             &explicit,
             st.sender,
-            &[ReceiverSpec::always(st.receivers[0])],
+            &[PopulationSpec::packet(st.receivers[0])],
         );
-        let first = mgr.add_session(
+        let first = mgr.add_population_session(
             &mut sim,
             &SessionSpec::default(),
             st.receivers[1],
-            &[ReceiverSpec::always(st.receivers[2])],
+            &[PopulationSpec::packet(st.receivers[2])],
         );
-        let second = mgr.add_session(
+        let second = mgr.add_population_session(
             &mut sim,
             &SessionSpec::default(),
             st.receivers[2],
-            &[ReceiverSpec::always(st.receivers[3])],
+            &[PopulationSpec::packet(st.receivers[3])],
         );
         let first = mgr.session(first);
         assert_eq!(
@@ -638,7 +733,12 @@ mod tests {
     fn zero_receivers_are_rejected() {
         let mut sim = Simulator::new(7);
         let st = star_with_legs(&mut sim, 1);
-        SessionManager::new().add_session(&mut sim, &SessionSpec::default(), st.sender, &[]);
+        SessionManager::new().add_population_session(
+            &mut sim,
+            &SessionSpec::default(),
+            st.sender,
+            &[],
+        );
     }
 
     #[test]
@@ -648,7 +748,12 @@ mod tests {
         let st = star_with_legs(&mut sim, 1);
         let mut spec = ReceiverSpec::always(st.receivers[0]);
         spec.churn = Some((10.0, 0.0));
-        SessionManager::new().add_session(&mut sim, &SessionSpec::default(), st.sender, &[spec]);
+        SessionManager::new().add_population_session(
+            &mut sim,
+            &SessionSpec::default(),
+            st.sender,
+            &[PopulationSpec::Packet(spec)],
+        );
     }
 
     #[test]
@@ -658,7 +763,12 @@ mod tests {
         let st = star_with_legs(&mut sim, 1);
         let mut spec = ReceiverSpec::always(st.receivers[0]).leaving_at(5.0);
         spec.churn = Some((1.0, 1.0));
-        SessionManager::new().add_session(&mut sim, &SessionSpec::default(), st.sender, &[spec]);
+        SessionManager::new().add_population_session(
+            &mut sim,
+            &SessionSpec::default(),
+            st.sender,
+            &[PopulationSpec::Packet(spec)],
+        );
     }
 
     #[test]
@@ -669,19 +779,19 @@ mod tests {
         let mut mgr = SessionManager::new();
         let spec =
             SessionSpec::default().with_addressing(GroupId(9), Port(6000), Port(6001), FlowId(500));
-        mgr.add_session(
+        mgr.add_population_session(
             &mut sim,
             &spec,
             st.sender,
-            &[ReceiverSpec::always(st.receivers[0])],
+            &[PopulationSpec::packet(st.receivers[0])],
         );
         let clash =
             SessionSpec::default().with_addressing(GroupId(9), Port(7000), Port(7001), FlowId(501));
-        mgr.add_session(
+        mgr.add_population_session(
             &mut sim,
             &clash,
             st.receivers[1],
-            &[ReceiverSpec::always(st.receivers[0])],
+            &[PopulationSpec::packet(st.receivers[0])],
         );
     }
 
@@ -693,11 +803,11 @@ mod tests {
         let mut mgr = SessionManager::new();
         let spec =
             SessionSpec::default().with_addressing(GroupId(9), Port(6000), Port(6001), FlowId(500));
-        mgr.add_session(
+        mgr.add_population_session(
             &mut sim,
             &spec,
             st.sender,
-            &[ReceiverSpec::always(st.receivers[0])],
+            &[PopulationSpec::packet(st.receivers[0])],
         );
         let clash = SessionSpec::default().with_addressing(
             GroupId(10),
@@ -705,11 +815,11 @@ mod tests {
             Port(7001),
             FlowId(501),
         );
-        mgr.add_session(
+        mgr.add_population_session(
             &mut sim,
             &clash,
             st.receivers[1],
-            &[ReceiverSpec::always(st.receivers[0])],
+            &[PopulationSpec::packet(st.receivers[0])],
         );
     }
 
@@ -742,17 +852,17 @@ mod tests {
         sim.add_duplex_link(sink, r1, 1_250_000.0, 0.005, QueueDiscipline::drop_tail(60));
 
         let mut mgr = SessionManager::new();
-        mgr.add_session(
+        mgr.add_population_session(
             &mut sim,
             &SessionSpec::default(),
             s0,
-            &[ReceiverSpec::always(r0)],
+            &[PopulationSpec::packet(r0)],
         );
-        mgr.add_session(
+        mgr.add_population_session(
             &mut sim,
             &SessionSpec::default().starting_at(10.0),
             s1,
-            &[ReceiverSpec::always(r1)],
+            &[PopulationSpec::packet(r1)],
         );
         sim.run_until(SimTime::from_secs(220.0));
 

@@ -5,7 +5,7 @@ use std::any::Any;
 use netsim::packet::{Dest, FlowId, GroupId, Packet, Payload, Port};
 use netsim::sim::{Agent, Context};
 
-use tfmcc_proto::packets::FeedbackPacket;
+use tfmcc_proto::packets::{FeedbackPacket, PopulationReport};
 use tfmcc_proto::sender::TfmccSender;
 
 /// Timer token for the data-pacing timer.
@@ -94,6 +94,9 @@ impl Agent for TfmccSenderAgent {
     fn on_packet(&mut self, ctx: &mut Context<'_>, packet: Packet) {
         if let Some(fb) = packet.payload.downcast_ref::<FeedbackPacket>() {
             self.sender.on_feedback(ctx.now().as_secs(), fb);
+        } else if let Some(rep) = packet.payload.downcast_ref::<PopulationReport>() {
+            self.sender
+                .on_population_feedback(ctx.now().as_secs(), &rep.feedback, rep.weight);
         }
     }
 

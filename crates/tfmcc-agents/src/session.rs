@@ -12,6 +12,7 @@ use netsim::sim::Simulator;
 use tfmcc_proto::config::TfmccConfig;
 
 use crate::manager::{SessionManager, SessionSpec};
+use crate::population::{FluidPopulationAgent, PopulationSpec};
 use crate::receiver_agent::TfmccReceiverAgent;
 use crate::sender_agent::TfmccSenderAgent;
 
@@ -105,25 +106,50 @@ impl Default for TfmccSessionBuilder {
 pub struct TfmccSession {
     /// The sender agent.
     pub sender: AgentId,
-    /// The receiver agents, in the order of the specs passed to `build`.
+    /// The packet-level receiver agents, in the order of the specs passed
+    /// to `build`.
     pub receivers: Vec<AgentId>,
+    /// The fluid population agents, in the order of the fluid entries
+    /// passed to `build_population` (empty for a pure packet-level session).
+    pub fluid: Vec<AgentId>,
     /// The session's multicast group.
     pub group: GroupId,
 }
 
 impl TfmccSessionBuilder {
-    /// Builds the session: attaches the sender to `sender_node` and one
-    /// receiver per spec, all wired to the same group and ports.
+    /// Builds a pure packet-level session from per-receiver specs.
     ///
-    /// This is single-session sugar over
-    /// [`SessionManager::add_session`](crate::manager::SessionManager::add_session),
-    /// which also validates the inputs (at least one receiver, finite times,
-    /// positive churn periods, distinct data/report ports).
+    /// Thin shim over [`Self::build_population`], the unified entry point
+    /// that also accepts fluid populations;
+    /// [`PopulationSpec::packets`] wraps a `ReceiverSpec` slice.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use build_population (PopulationSpec::packets wraps a ReceiverSpec slice)"
+    )]
     pub fn build(
         &self,
         sim: &mut Simulator,
         sender_node: NodeId,
         receivers: &[ReceiverSpec],
+    ) -> TfmccSession {
+        self.build_population(sim, sender_node, &PopulationSpec::packets(receivers))
+    }
+
+    /// Builds the session: attaches the sender to `sender_node`, one
+    /// receiver agent per [`PopulationSpec::Packet`] entry and one fluid
+    /// population agent per [`PopulationSpec::Fluid`] entry, all wired to
+    /// the same group and ports.
+    ///
+    /// This is single-session sugar over
+    /// [`SessionManager::add_population_session`](crate::manager::SessionManager::add_population_session),
+    /// which also validates the inputs (at least one packet-level receiver,
+    /// valid fluid profiles, finite times, positive churn periods, distinct
+    /// data/report ports) and documents the CLR-cohort promotion rule.
+    pub fn build_population(
+        &self,
+        sim: &mut Simulator,
+        sender_node: NodeId,
+        populations: &[PopulationSpec],
     ) -> TfmccSession {
         let spec = SessionSpec {
             config: self.config.clone(),
@@ -136,11 +162,12 @@ impl TfmccSessionBuilder {
             flow: Some(self.flow),
         };
         let mut manager = SessionManager::new();
-        let id = manager.add_session(sim, &spec, sender_node, receivers);
+        let id = manager.add_population_session(sim, &spec, sender_node, populations);
         let handle = manager.session(id);
         TfmccSession {
             sender: handle.sender,
             receivers: handle.receivers.clone(),
+            fluid: handle.fluid.clone(),
             group: handle.group,
         }
     }
@@ -156,6 +183,12 @@ impl TfmccSession {
     pub fn receiver_agent<'a>(&self, sim: &'a Simulator, index: usize) -> &'a TfmccReceiverAgent {
         sim.agent(self.receivers[index])
             .expect("receiver agent exists")
+    }
+
+    /// Borrow a fluid population agent by index.
+    pub fn fluid_agent<'a>(&self, sim: &'a Simulator, index: usize) -> &'a FluidPopulationAgent {
+        sim.agent(self.fluid[index])
+            .expect("fluid population agent exists")
     }
 
     /// Average throughput seen by receiver `index` over `[from, to]`, in
@@ -182,7 +215,11 @@ mod tests {
         let r = sim.add_node("dst");
         // 1 Mbit/s bottleneck, 20 ms one-way delay.
         sim.add_duplex_link(s, r, 125_000.0, 0.02, QueueDiscipline::drop_tail(30));
-        let session = TfmccSessionBuilder::default().build(&mut sim, s, &[ReceiverSpec::always(r)]);
+        let session = TfmccSessionBuilder::default().build_population(
+            &mut sim,
+            s,
+            &[PopulationSpec::packet(r)],
+        );
         sim.run_until(SimTime::from_secs(120.0));
         let rate = session.receiver_throughput(&sim, 0, 60.0, 115.0);
         assert!(
@@ -209,7 +246,11 @@ mod tests {
             .iter()
             .map(|&n| ReceiverSpec::always(n))
             .collect();
-        let session = TfmccSessionBuilder::default().build(&mut sim, star.sender, &specs);
+        let session = TfmccSessionBuilder::default().build_population(
+            &mut sim,
+            star.sender,
+            &PopulationSpec::packets(&specs),
+        );
         sim.run_until(SimTime::from_secs(150.0));
         let sender = session.sender_agent(&sim).protocol();
         // The CLR must be receiver 2 (index 1 -> ReceiverId 2), the lossy leg.
@@ -246,10 +287,10 @@ mod tests {
         };
         let d = netsim::topology::dumbbell(&mut sim, &cfg);
         // TFMCC on pair 0.
-        let session = TfmccSessionBuilder::default().build(
+        let session = TfmccSessionBuilder::default().build_population(
             &mut sim,
             d.senders[0],
-            &[ReceiverSpec::always(d.receivers[0])],
+            &[PopulationSpec::packet(d.receivers[0])],
         );
         // TCP on pair 1.
         let tcp_sink = sim.add_agent(d.receivers[1], Port(1), Box::new(TcpSink::new(1.0)));
@@ -290,7 +331,11 @@ mod tests {
             .iter()
             .map(|&n| ReceiverSpec::always(n))
             .collect();
-        let session = TfmccSessionBuilder::default().build(&mut sim, star.sender, &specs);
+        let session = TfmccSessionBuilder::default().build_population(
+            &mut sim,
+            star.sender,
+            &PopulationSpec::packets(&specs),
+        );
         sim.run_until(SimTime::from_secs(120.0));
         let with_rtt = (0..4)
             .filter(|&i| {
@@ -330,7 +375,11 @@ mod tests {
             ReceiverSpec::always(star.receivers[0]),
             ReceiverSpec::joining_at(star.receivers[1], 5.0).churning(10.0, 5.0),
         ];
-        let session = TfmccSessionBuilder::default().build(&mut sim, star.sender, &specs);
+        let session = TfmccSessionBuilder::default().build_population(
+            &mut sim,
+            star.sender,
+            &PopulationSpec::packets(&specs),
+        );
         sim.run_until(SimTime::from_secs(120.0));
         let churner = session.receiver_agent(&sim, 1);
         // Joins at 5, then leave/join every 10/5 s: ≥ 14 transitions in 115 s.
@@ -366,7 +415,11 @@ mod tests {
             ReceiverSpec::always(star.receivers[0]),
             ReceiverSpec::joining_at(star.receivers[1], 80.0).leaving_at(160.0),
         ];
-        let session = TfmccSessionBuilder::default().build(&mut sim, star.sender, &specs);
+        let session = TfmccSessionBuilder::default().build_population(
+            &mut sim,
+            star.sender,
+            &PopulationSpec::packets(&specs),
+        );
         sim.run_until(SimTime::from_secs(240.0));
         let sender = session.sender_agent(&sim).protocol();
         let fast = session.receiver_agent(&sim, 0).meter();

@@ -4,10 +4,13 @@
 //! runs the 10⁴-receiver fan-out microbench (zero-copy shared fan-out vs
 //! the seed's clone-based reference path), the event-core microbench
 //! (binary-heap vs calendar-queue scheduler on the 10⁵-event churn hold
-//! model) and the feedback-aggregation microbench (scan-based reference vs
-//! ordered-index incremental sender bookkeeping up to 10⁵ receivers),
-//! writing the paired timings as `BENCH_fanout.json`, `BENCH_events.json`
-//! and `BENCH_feedback.json` next to the trajectory file.
+//! model), the feedback-aggregation microbench (scan-based reference vs
+//! ordered-index incremental sender bookkeeping up to 10⁵ receivers) and
+//! the hybrid population-tier bench (one TFMCC session at 10⁵ and 10⁶
+//! receivers with a packet-level CLR cohort and a fluid bulk, reporting
+//! wall time and live heap bytes per fluid receiver), writing the timings
+//! as `BENCH_fanout.json`, `BENCH_events.json`, `BENCH_feedback.json` and
+//! `BENCH_hybrid.json` next to the trajectory file.
 //!
 //! Usage: `sweep_bench [--quick | --paper] [--threads N] [--out FILE]`
 //!
@@ -16,15 +19,107 @@
 //! to be byte-identical across the tried thread counts, so the benchmark
 //! doubles as an end-to-end determinism check.
 
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicI64, Ordering::Relaxed};
 use std::time::Instant;
 
+use netsim::prelude::*;
+use tfmcc_agents::population::{FluidSpec, PopulationSpec};
+use tfmcc_agents::session::TfmccSessionBuilder;
 use tfmcc_experiments::cli::export_scheduler_env;
 use tfmcc_experiments::event_bench::{measure_event_core, STANDARD_OPS, STANDARD_PENDING};
 use tfmcc_experiments::fanout_bench::{measure_fanout, STANDARD_RECEIVERS, STANDARD_SIM_SECS};
 use tfmcc_experiments::feedback_bench;
 use tfmcc_experiments::scale::Scale;
 use tfmcc_experiments::scaling_figs::fig07_scaling;
+use tfmcc_model::population::Dist;
 use tfmcc_runner::{Json, RunnerArgs, SweepRunner};
+
+/// Counts live heap bytes so the hybrid bench can report per-fluid-receiver
+/// memory.  (Twin of the allocator in `examples/scale_probe.rs` — a
+/// `#[global_allocator]` must live in the binary that uses it, so the ~30
+/// lines are duplicated rather than shipped in a library crate; keep the
+/// two in sync.)
+struct NetCountingAllocator;
+
+static NET_BYTES: AtomicI64 = AtomicI64::new(0);
+
+unsafe impl GlobalAlloc for NetCountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        NET_BYTES.fetch_add(layout.size() as i64, Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        NET_BYTES.fetch_sub(layout.size() as i64, Relaxed);
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        NET_BYTES.fetch_add(new_size as i64 - layout.size() as i64, Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        NET_BYTES.fetch_add(layout.size() as i64, Relaxed);
+        System.alloc_zeroed(layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: NetCountingAllocator = NetCountingAllocator;
+
+fn live_bytes() -> i64 {
+    NET_BYTES.load(Relaxed)
+}
+
+/// One hybrid population-tier measurement: a TFMCC session with a
+/// four-receiver packet-level CLR cohort plus a fluid population of
+/// `fluid_count` receivers, run for 60 simulated seconds.
+struct HybridMeasurement {
+    fluid_count: u64,
+    wall_secs: f64,
+    bytes_per_fluid_receiver: f64,
+    population: u64,
+    fluid_reports: u64,
+    clr_in_cohort: bool,
+}
+
+fn measure_hybrid(fluid_count: u64) -> HybridMeasurement {
+    let heap0 = live_bytes();
+    let started = Instant::now();
+    let mut sim = Simulator::new(7);
+    let legs = vec![
+        StarLeg::clean(1_250_000.0, 0.03).with_downstream_loss(0.05),
+        StarLeg::clean(1_250_000.0, 0.02).with_downstream_loss(0.02),
+        StarLeg::clean(1_250_000.0, 0.02).with_downstream_loss(0.01),
+        StarLeg::clean(1_250_000.0, 0.02),
+        StarLeg::clean(12_500_000.0, 0.01),
+    ];
+    let st = star(&mut sim, &StarConfig::default(), &legs);
+    let mut specs: Vec<PopulationSpec> = (0..4)
+        .map(|i| PopulationSpec::packet(st.receivers[i]))
+        .collect();
+    specs.push(PopulationSpec::Fluid(FluidSpec::new(
+        st.receivers[4],
+        fluid_count,
+        Dist::Uniform {
+            lo: 0.001,
+            hi: 0.008,
+        },
+        Dist::Uniform { lo: 0.04, hi: 0.08 },
+    )));
+    let session = TfmccSessionBuilder::default().build_population(&mut sim, st.sender, &specs);
+    sim.run_until(SimTime::from_secs(60.0));
+    let wall_secs = started.elapsed().as_secs_f64();
+    let bytes = (live_bytes() - heap0).max(0);
+    let sender = session.sender_agent(&sim).protocol();
+    HybridMeasurement {
+        fluid_count,
+        wall_secs,
+        bytes_per_fluid_receiver: bytes as f64 / fluid_count as f64,
+        population: sender.session_population(),
+        fluid_reports: session.fluid_agent(&sim, 0).reports_sent(),
+        clr_in_cohort: sender.clr().is_some_and(|clr| clr.0 <= 4),
+    }
+}
 
 fn main() {
     let args = RunnerArgs::parse();
@@ -273,4 +368,65 @@ fn main() {
         std::process::exit(1);
     }
     eprintln!("# wrote {}", feedback_out.display());
+
+    // The hybrid population-tier bench: one TFMCC session at 10⁵ and 10⁶
+    // receivers (a packet-level CLR cohort of four plus a fluid bulk), the
+    // scaling claim this tier exists for.  The sizes are the benchmark's
+    // defining workload and run at every scale — the fluid tier's cost is
+    // O(bins) per feedback round, so even the 10⁶ point takes milliseconds.
+    let mut hybrid_trajectory = Vec::new();
+    for fluid_count in [100_000u64, 1_000_000] {
+        let m = measure_hybrid(fluid_count);
+        eprintln!(
+            "# hybrid {} fluid receivers: {:.3}s wall, {:.2} B/receiver, population {}, {} fluid reports",
+            m.fluid_count, m.wall_secs, m.bytes_per_fluid_receiver, m.population, m.fluid_reports,
+        );
+        // The acceptance bar for the tier: a 10⁶-receiver session in well
+        // under 10 s of wall time and under 100 B of heap per fluid
+        // receiver, with the CLR still elected from the packet cohort.
+        if m.wall_secs > 10.0 {
+            eprintln!(
+                "error: hybrid session at {} receivers took {:.1}s (> 10s budget)",
+                m.fluid_count, m.wall_secs
+            );
+            std::process::exit(1);
+        }
+        if m.bytes_per_fluid_receiver > 100.0 {
+            eprintln!(
+                "error: hybrid session at {} receivers uses {:.1} B/receiver (> 100 B budget)",
+                m.fluid_count, m.bytes_per_fluid_receiver
+            );
+            std::process::exit(1);
+        }
+        if !m.clr_in_cohort {
+            eprintln!(
+                "error: hybrid session at {} receivers elected no CLR from the packet cohort",
+                m.fluid_count
+            );
+            std::process::exit(1);
+        }
+        hybrid_trajectory.push(Json::Obj(vec![
+            ("fluid_receivers".into(), Json::num(m.fluid_count as f64)),
+            ("wall_secs".into(), Json::num(m.wall_secs)),
+            (
+                "bytes_per_fluid_receiver".into(),
+                Json::num(m.bytes_per_fluid_receiver),
+            ),
+            ("population".into(), Json::num(m.population as f64)),
+            ("fluid_reports".into(), Json::num(m.fluid_reports as f64)),
+        ]));
+    }
+    let hybrid_doc = Json::Obj(vec![
+        ("name".into(), Json::str("hybrid_population_bench")),
+        ("sim_secs".into(), Json::num(60.0)),
+        ("trajectory".into(), Json::Arr(hybrid_trajectory)),
+    ]);
+    let hybrid_out = out.with_file_name("BENCH_hybrid.json");
+    let mut hybrid_body = hybrid_doc.render();
+    hybrid_body.push('\n');
+    if let Err(err) = std::fs::write(&hybrid_out, hybrid_body) {
+        eprintln!("error: cannot write {}: {err}", hybrid_out.display());
+        std::process::exit(1);
+    }
+    eprintln!("# wrote {}", hybrid_out.display());
 }

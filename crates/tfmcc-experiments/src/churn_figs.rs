@@ -17,8 +17,10 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use netsim::prelude::*;
+use tfmcc_agents::population::{FluidSpec, PopulationSpec};
 use tfmcc_agents::session::{ReceiverSpec, TfmccSessionBuilder};
-use tfmcc_runner::{ParamGrid, SweepRunner};
+use tfmcc_model::population::Dist;
+use tfmcc_runner::{ParamGrid, Sweep, SweepRunner};
 
 use crate::output::{Figure, Series};
 use crate::scale::Scale;
@@ -71,7 +73,11 @@ fn run_churn_point(n: usize, seed: u64, duration: f64) -> ChurnOutcome {
             }
         })
         .collect();
-    let session = TfmccSessionBuilder::default().build(&mut sim, star.sender, &specs);
+    let session = TfmccSessionBuilder::default().build_population(
+        &mut sim,
+        star.sender,
+        &PopulationSpec::packets(&specs),
+    );
     sim.run_until(SimTime::from_secs(duration));
 
     let probe_rate = session.receiver_throughput(&sim, 0, duration * 0.4, duration - 1.0);
@@ -85,6 +91,81 @@ fn run_churn_point(n: usize, seed: u64, duration: f64) -> ChurnOutcome {
         receivers: n,
         probe_kbit: probe_rate * 8.0 / 1000.0,
         mean_kbit: total_bytes / duration / n as f64 * 8.0 / 1000.0,
+        membership_changes,
+        events_per_kb,
+    }
+}
+
+/// Size of the packet-level cohort in a hybrid churn point: the probe plus
+/// enough churners to keep the join/leave workload realistic.
+const HYBRID_COHORT: usize = 50;
+
+/// One hybrid churn point: the probe and a churning 50-receiver cohort run
+/// at packet level while the remaining `n − 50` receivers are one fluid
+/// population, so the axis extends to 10⁶ receivers with the same churn
+/// workload on the simulated cohort.
+fn run_hybrid_churn_point(n: usize, seed: u64, duration: f64) -> ChurnOutcome {
+    let cohort = HYBRID_COHORT.min(n.saturating_sub(1)).max(1);
+    let fluid_count = (n - cohort).max(1) as u64;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut sim = Simulator::new(seed);
+    let mut legs: Vec<StarLeg> = (0..cohort)
+        .map(|_| {
+            StarLeg::clean(125_000.0, rng.gen_range(0.01..0.05))
+                .with_queue(QueueDiscipline::drop_tail(30))
+        })
+        .collect();
+    // The attachment leg of the fluid population.
+    legs.push(StarLeg::clean(1_250_000.0, 0.01));
+    let cfg = StarConfig {
+        sender_bandwidth: 125_000.0,
+        sender_delay: 0.002,
+        sender_queue: QueueDiscipline::drop_tail(100),
+    };
+    let star = star(&mut sim, &cfg, &legs);
+    let mut specs: Vec<PopulationSpec> = star.receivers[..cohort]
+        .iter()
+        .enumerate()
+        .map(|(i, &node)| {
+            if i == 0 {
+                return PopulationSpec::packet(node);
+            }
+            let join_at = rng.gen_range(0.0..2.0);
+            let spec = if i % CHURN_MODULUS == 1 {
+                let on_secs = rng.gen_range(0.25..0.55) * duration.min(20.0);
+                let off_secs = rng.gen_range(0.08..0.20) * duration.min(20.0);
+                ReceiverSpec::joining_at(node, join_at).churning(on_secs, off_secs)
+            } else {
+                ReceiverSpec::joining_at(node, join_at)
+            };
+            PopulationSpec::Packet(spec)
+        })
+        .collect();
+    specs.push(PopulationSpec::Fluid(FluidSpec::new(
+        star.receivers[cohort],
+        fluid_count,
+        Dist::Uniform {
+            lo: 0.001,
+            hi: 0.01,
+        },
+        Dist::Uniform { lo: 0.02, hi: 0.06 },
+    )));
+    let session = TfmccSessionBuilder::default().build_population(&mut sim, star.sender, &specs);
+    sim.run_until(SimTime::from_secs(duration));
+
+    let probe_rate = session.receiver_throughput(&sim, 0, duration * 0.4, duration - 1.0);
+    let total_bytes: f64 = (0..cohort)
+        .map(|i| session.receiver_agent(&sim, i).meter().total_bytes() as f64)
+        .sum();
+    let membership_changes = sim.stats().counter("multicast.agent_joins")
+        + sim.stats().counter("multicast.agent_leaves");
+    let events_per_kb = sim.events_processed() as f64 / (total_bytes / 1000.0).max(1.0);
+    ChurnOutcome {
+        receivers: n,
+        probe_kbit: probe_rate * 8.0 / 1000.0,
+        // The fluid tier has no per-receiver meters; the mean is over the
+        // packet-level cohort.
+        mean_kbit: total_bytes / duration / cohort as f64 * 8.0 / 1000.0,
         membership_changes,
         events_per_kb,
     }
@@ -135,10 +216,34 @@ pub fn fig22_churn(runner: &SweepRunner, scale: Scale) -> Figure {
             .collect(),
     ));
 
+    // The hybrid extension: a fluid bulk carries the axis to 10⁶ receivers
+    // (quick: 10⁵) while the probe and a churning 50-receiver cohort stay
+    // packet-level.
+    let hybrid_ns: Vec<usize> = scale.pick(vec![100_000], vec![1_000_000]);
+    let hybrid_sweep = Sweep::new("fig22/hybrid", 22_222, hybrid_ns);
+    let hybrid = runner.run(&hybrid_sweep, |pt| {
+        run_hybrid_churn_point(*pt.value, pt.seed, duration)
+    });
+    fig.push_series(Series::new(
+        "hybrid probe goodput (kbit/s)",
+        hybrid
+            .iter()
+            .map(|o| (o.receivers as f64, o.probe_kbit))
+            .collect(),
+    ));
+    fig.push_series(Series::new(
+        "hybrid events per delivered kB",
+        hybrid
+            .iter()
+            .map(|o| (o.receivers as f64, o.events_per_kb))
+            .collect(),
+    ));
+
     let first = &outcomes[0];
     let last = outcomes.last().unwrap();
+    let hybrid_last = hybrid.last().unwrap();
     fig.note(format!(
-        "probe goodput {:.0} kbit/s at n={} vs {:.0} kbit/s at n={} ({:.0}% retained) under {:.0} membership changes; {:.1} simulator events per delivered kB at the largest n",
+        "probe goodput {:.0} kbit/s at n={} vs {:.0} kbit/s at n={} ({:.0}% retained) under {:.0} membership changes; {:.1} simulator events per delivered kB at the largest n; hybrid tier holds {:.0} kbit/s probe goodput at n={} with {:.1} events per kB",
         first.probe_kbit,
         first.receivers,
         last.probe_kbit,
@@ -146,6 +251,9 @@ pub fn fig22_churn(runner: &SweepRunner, scale: Scale) -> Figure {
         100.0 * last.probe_kbit / first.probe_kbit.max(1e-9),
         last.membership_changes,
         last.events_per_kb,
+        hybrid_last.probe_kbit,
+        hybrid_last.receivers,
+        hybrid_last.events_per_kb,
     ));
     fig
 }
@@ -174,6 +282,24 @@ mod tests {
                 "expected sustained churn at n={n}, saw only {c} membership changes"
             );
         }
+    }
+
+    #[test]
+    fn fig22_hybrid_point_reaches_1e5_receivers() {
+        let fig = fig22_churn(&SweepRunner::new(2), Scale::Quick);
+        let hybrid = fig.series("hybrid probe goodput (kbit/s)").unwrap();
+        let &(n, kbit) = hybrid.points.last().unwrap();
+        assert_eq!(n, 100_000.0, "quick-scale hybrid point sits at 10⁵");
+        assert!(kbit > 20.0, "hybrid probe starved: {kbit} kbit/s");
+        // The fluid bulk must not cost per-receiver simulator work: the
+        // hybrid point processes far fewer events per delivered kB than a
+        // packet-level run of the same size would.
+        let events = fig.series("hybrid events per delivered kB").unwrap();
+        assert!(
+            events.points.last().unwrap().1 < 1000.0,
+            "hybrid event cost exploded: {:?}",
+            events.points
+        );
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! other work.  The scenarios keep their historical fixed seeds.
 
 use netsim::prelude::*;
+use tfmcc_agents::population::PopulationSpec;
 use tfmcc_agents::session::{ReceiverSpec, TfmccSessionBuilder};
 use tfmcc_runner::SweepRunner;
 use tfmcc_tcp::{TcpSender, TcpSenderConfig, TcpSink};
@@ -43,10 +44,10 @@ pub fn fig09_single_bottleneck(runner: &SweepRunner, scale: Scale) -> Figure {
             ..DumbbellConfig::default()
         };
         let d = netsim::topology::dumbbell(&mut sim, &cfg);
-        let session = TfmccSessionBuilder::default().build(
+        let session = TfmccSessionBuilder::default().build_population(
             &mut sim,
             d.senders[0],
-            &[ReceiverSpec::always(d.receivers[0])],
+            &[PopulationSpec::packet(d.receivers[0])],
         );
         let mut tcp_sinks = Vec::new();
         for i in 1..=tcp_flows {
@@ -122,7 +123,11 @@ pub fn fig10_tail_circuits(runner: &SweepRunner, scale: Scale) -> Figure {
             .iter()
             .map(|&n| ReceiverSpec::always(n))
             .collect();
-        let session = TfmccSessionBuilder::default().build(&mut sim, star.sender, &specs);
+        let session = TfmccSessionBuilder::default().build_population(
+            &mut sim,
+            star.sender,
+            &PopulationSpec::packets(&specs),
+        );
         let mut tcp_sinks = Vec::new();
         for (i, &r) in star.receivers.iter().enumerate() {
             let sink = sim.add_agent(r, Port(1), Box::new(TcpSink::new(1.0)));
@@ -201,7 +206,11 @@ fn return_path_scenario(
         .iter()
         .map(|&n| ReceiverSpec::always(n))
         .collect();
-    let session = TfmccSessionBuilder::default().build(&mut sim, star.sender, &specs);
+    let session = TfmccSessionBuilder::default().build_population(
+        &mut sim,
+        star.sender,
+        &PopulationSpec::packets(&specs),
+    );
     // A forward TCP flow to each receiver provides the competing traffic.
     let mut tcp_sinks = Vec::new();
     for (i, &r) in star.receivers.iter().enumerate() {

@@ -24,7 +24,9 @@
 
 use netsim::prelude::*;
 use tfmcc_agents::manager::{SessionManager, SessionSpec};
+use tfmcc_agents::population::{FluidSpec, PopulationSpec};
 use tfmcc_agents::session::ReceiverSpec;
+use tfmcc_model::population::Dist;
 use tfmcc_runner::{Sweep, SweepRunner};
 
 use crate::output::{Figure, Series};
@@ -68,10 +70,14 @@ fn total_receivers(scale: Scale) -> usize {
 }
 
 /// Builds and runs one shared-bottleneck simulation with `k` competing
-/// sessions of `receivers_per_session` receivers each.
+/// sessions of `receivers_per_session` packet-level receivers each, plus
+/// (when `fluid_bulk > 0`) a per-session fluid population of that many
+/// receivers — the hybrid tier that carries the fairness experiment to 10⁶
+/// receivers and beyond.
 fn run_intertfmcc_point(
     k: usize,
     receivers_per_session: usize,
+    fluid_bulk: u64,
     seed: u64,
     duration: f64,
 ) -> IntertfmccOutcome {
@@ -111,11 +117,31 @@ fn run_intertfmcc_point(
                 ReceiverSpec::always(node)
             })
             .collect();
-        manager.add_session(
+        let mut populations = PopulationSpec::packets(&specs);
+        if fluid_bulk > 0 {
+            let node = sim.add_node(&format!("fluid{session}"));
+            sim.add_duplex_link(
+                right,
+                node,
+                12_500_000.0,
+                0.005,
+                QueueDiscipline::drop_tail(60),
+            );
+            populations.push(PopulationSpec::Fluid(FluidSpec::new(
+                node,
+                fluid_bulk,
+                Dist::Uniform {
+                    lo: 0.001,
+                    hi: 0.01,
+                },
+                Dist::Uniform { lo: 0.02, hi: 0.06 },
+            )));
+        }
+        manager.add_population_session(
             &mut sim,
             &SessionSpec::default().starting_at(session as f64 * START_STAGGER),
             sender,
-            &specs,
+            &populations,
         );
     }
     sim.run_until(SimTime::from_secs(duration));
@@ -160,7 +186,7 @@ pub fn fig23_intertfmcc(runner: &SweepRunner, scale: Scale) -> Figure {
     let sweep = Sweep::new("fig23", 2323, counts);
     let outcomes = runner.run(&sweep, |pt| {
         let k = *pt.value;
-        run_intertfmcc_point(k, (total / k).max(1), pt.seed, duration)
+        run_intertfmcc_point(k, (total / k).max(1), 0, pt.seed, duration)
     });
 
     let mut fig = Figure::new(
@@ -200,18 +226,45 @@ pub fn fig23_intertfmcc(runner: &SweepRunner, scale: Scale) -> Figure {
         }
     }
 
+    // The hybrid extension: the same fairness experiment with each session
+    // carrying a fluid bulk, for a 10⁶-receiver (quick) / 10⁷-receiver
+    // (paper) total across the competing sessions.
+    let hybrid_k = *session_counts(scale).last().unwrap();
+    let hybrid_bulk = scale.pick(1_000_000u64, 10_000_000) / hybrid_k as u64;
+    let hybrid_sweep = Sweep::new("fig23/hybrid", 23_232, vec![hybrid_k]);
+    let hybrid = runner.run(&hybrid_sweep, |pt| {
+        let k = *pt.value;
+        run_intertfmcc_point(k, (total / k).max(1), hybrid_bulk, pt.seed, duration)
+    });
+    fig.push_series(Series::new(
+        "hybrid Jain index",
+        hybrid.iter().map(|o| (o.sessions as f64, o.jain)).collect(),
+    ));
+    fig.push_series(Series::new(
+        "hybrid aggregate rate (kbit/s)",
+        hybrid
+            .iter()
+            .map(|o| (o.sessions as f64, o.aggregate_kbit))
+            .collect(),
+    ));
+
     let worst = outcomes
         .iter()
         .min_by(|a, b| a.jain.partial_cmp(&b.jain).expect("jain is never NaN"))
         .expect("at least one session count");
+    let hybrid_last = hybrid.last().unwrap();
     fig.note(format!(
         "Jain index {:.3} at K={} (worst over the sweep); {} receivers per session at the \
-         largest K; aggregate {:.0} kbit/s of the 8000 kbit/s bottleneck; {} CLR changes",
+         largest K; aggregate {:.0} kbit/s of the 8000 kbit/s bottleneck; {} CLR changes; \
+         hybrid: K={} sessions with {} fluid receivers each share at Jain {:.3}",
         worst.jain,
         worst.sessions,
         outcomes.last().unwrap().receivers_per_session,
         outcomes.last().unwrap().aggregate_kbit,
         outcomes.last().unwrap().clr_changes,
+        hybrid_last.sessions,
+        hybrid_bulk,
+        hybrid_last.jain,
     ));
     fig
 }
@@ -247,6 +300,24 @@ mod tests {
                 "aggregate exceeds the bottleneck at K={k}: {kbit}"
             );
         }
+    }
+
+    #[test]
+    fn fig23_hybrid_sessions_share_a_million_receivers_fairly() {
+        let _guard = crate::scale::env_lock();
+        std::env::remove_var("TFMCC_SESSIONS");
+        let fig = fig23_intertfmcc(&SweepRunner::new(2), Scale::Quick);
+        let jain = fig.series("hybrid Jain index").unwrap();
+        let &(k, j) = jain.points.last().unwrap();
+        assert!(
+            j > 0.6,
+            "K={k} hybrid sessions (10⁶ fluid receivers total) should share \
+             the bottleneck (Jain {j})"
+        );
+        let agg = fig.series("hybrid aggregate rate (kbit/s)").unwrap();
+        let &(_, kbit) = agg.points.last().unwrap();
+        assert!(kbit > 100.0, "hybrid sessions starved: {kbit} kbit/s");
+        assert!(kbit < 8000.0 * 1.05, "aggregate exceeds the bottleneck");
     }
 
     #[test]

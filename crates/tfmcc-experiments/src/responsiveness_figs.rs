@@ -7,6 +7,7 @@
 //! one-point sweeps with their historical seeds.
 
 use netsim::prelude::*;
+use tfmcc_agents::population::PopulationSpec;
 use tfmcc_agents::session::{ReceiverSpec, TfmccSessionBuilder};
 use tfmcc_runner::{Sweep, SweepRunner};
 use tfmcc_tcp::{TcpSender, TcpSenderConfig, TcpSink};
@@ -61,7 +62,11 @@ fn join_leave_star(
             }
         })
         .collect();
-    let session = TfmccSessionBuilder::default().build(&mut sim, star.sender, &specs);
+    let session = TfmccSessionBuilder::default().build_population(
+        &mut sim,
+        star.sender,
+        &PopulationSpec::packets(&specs),
+    );
     // One TCP flow per leg for the whole experiment.
     let mut tcp_sinks = Vec::new();
     for (i, &r) in star.receivers.iter().enumerate() {
@@ -197,7 +202,11 @@ fn rtt_change_reaction_delay(n: usize, change_at: f64, scale: Scale, seed: u64) 
         .iter()
         .map(|&r| ReceiverSpec::always(r))
         .collect();
-    let session = TfmccSessionBuilder::default().build(&mut sim, star.sender, &specs);
+    let session = TfmccSessionBuilder::default().build_population(
+        &mut sim,
+        star.sender,
+        &PopulationSpec::packets(&specs),
+    );
     sim.run_until(SimTime::from_secs(change_at));
     // Increase receiver 0's path RTT sharply (both directions) so that its
     // calculated rate drops below the others'; the reaction delay is the time
@@ -233,10 +242,10 @@ pub fn fig21_flow_doubling(runner: &SweepRunner, scale: Scale) -> Figure {
             ..DumbbellConfig::default()
         };
         let d = netsim::topology::dumbbell(&mut sim, &cfg);
-        let session = TfmccSessionBuilder::default().build(
+        let session = TfmccSessionBuilder::default().build_population(
             &mut sim,
             d.senders[0],
-            &[ReceiverSpec::always(d.receivers[0])],
+            &[PopulationSpec::packet(d.receivers[0])],
         );
         let mut tcp_sinks: Vec<(usize, netsim::packet::AgentId)> = Vec::new();
         let mut pair = 1;

@@ -25,6 +25,7 @@ use netsim::prelude::*;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use tfmcc_agents::manager::{SessionManager, SessionSpec};
+use tfmcc_agents::population::PopulationSpec;
 use tfmcc_agents::session::ReceiverSpec;
 use tfmcc_mc::replay::Replay;
 use tfmcc_runner::{Sweep, SweepRunner};
@@ -170,11 +171,11 @@ pub fn evaluate_scenario(scenario: &Scenario, duration: f64) -> ScenarioOutcome 
                 }
             })
             .collect();
-        manager.add_session(
+        manager.add_population_session(
             &mut sim,
             &SessionSpec::default().starting_at(session as f64 * 2.0),
             sender,
-            &specs,
+            &PopulationSpec::packets(&specs),
         );
     }
     sim.run_until(SimTime::from_secs(duration));

@@ -7,6 +7,7 @@
 //! seeds.
 
 use netsim::prelude::*;
+use tfmcc_agents::population::PopulationSpec;
 use tfmcc_agents::session::{ReceiverSpec, TfmccSessionBuilder};
 use tfmcc_runner::{Sweep, SweepRunner};
 use tfmcc_tcp::{TcpSender, TcpSenderConfig, TcpSink};
@@ -36,7 +37,11 @@ pub fn fig12_rtt_measurements(runner: &SweepRunner, scale: Scale) -> Figure {
             receivers.push(r);
         }
         let specs: Vec<ReceiverSpec> = receivers.iter().map(|&r| ReceiverSpec::always(r)).collect();
-        let session = TfmccSessionBuilder::default().build(&mut sim, src, &specs);
+        let session = TfmccSessionBuilder::default().build_population(
+            &mut sim,
+            src,
+            &PopulationSpec::packets(&specs),
+        );
 
         let mut points = Vec::new();
         let step = duration / 40.0;
@@ -132,7 +137,11 @@ fn max_slowstart_rate(receivers: usize, tcp_flows: usize, scale: Scale) -> f64 {
     let specs: Vec<ReceiverSpec> = (0..receivers)
         .map(|i| ReceiverSpec::always(nodes[i % nodes.len()]))
         .collect();
-    let session = TfmccSessionBuilder::default().build(&mut sim, src, &specs);
+    let session = TfmccSessionBuilder::default().build_population(
+        &mut sim,
+        src,
+        &PopulationSpec::packets(&specs),
+    );
     for i in 0..tcp_flows {
         let r = nodes[i % nodes.len()];
         sim.add_agent(r, Port(1), Box::new(TcpSink::new(1.0)));
@@ -187,7 +196,11 @@ fn late_join(id: &str, title: &str, tcp_on_slow_link: bool, scale: Scale) -> Fig
         ReceiverSpec::always(fast_nodes[0]),
         ReceiverSpec::joining_at(slow, join_at).leaving_at(leave_at),
     ];
-    let session = TfmccSessionBuilder::default().build(&mut sim, src, &specs);
+    let session = TfmccSessionBuilder::default().build_population(
+        &mut sim,
+        src,
+        &PopulationSpec::packets(&specs),
+    );
     let mut tcp_sinks = Vec::new();
     for i in 0..tcp_flows {
         let r = fast_nodes[i + 1];

@@ -91,6 +91,10 @@ pub struct ReceiverInfo {
     pub last_report_timestamp: f64,
     /// Sender-clock time the most recent report arrived.
     pub last_report_at: f64,
+    /// Number of receivers this entry stands for: 1 for an ordinary
+    /// packet-level receiver, the bin population for a synthetic report
+    /// injected by a fluid population.
+    pub weight: u64,
 }
 
 /// The bookkeeping contract between [`TfmccSender`] and its aggregation
@@ -112,6 +116,11 @@ pub trait FeedbackAggregator {
     fn is_empty(&self) -> bool {
         self.len() == 0
     }
+    /// Total receiver population: the sum of entry weights.  Equals
+    /// [`len`](FeedbackAggregator::len) when every entry is an ordinary
+    /// packet-level receiver; population-weighted reports raise it to the
+    /// number of receivers the session actually stands for.
+    fn population(&self) -> u64;
     /// Number of known receivers with a valid receiver-side RTT measurement.
     fn receivers_with_rtt(&self) -> usize;
     /// The maximum RTT over all known receivers, falling back to
@@ -174,6 +183,10 @@ impl FeedbackAggregator for ReferenceAggregator {
 
     fn len(&self) -> usize {
         self.receivers.len()
+    }
+
+    fn population(&self) -> u64 {
+        self.receivers.values().map(|r| r.weight).sum()
     }
 
     fn receivers_with_rtt(&self) -> usize {
@@ -263,6 +276,8 @@ pub struct IncrementalAggregator {
     own_rtt_count: usize,
     /// Receivers *without* one (no RTT at all, or sender-side only).
     without_own_rtt_count: usize,
+    /// Sum of entry weights, maintained eagerly.
+    population: u64,
     round_min: Option<SuppressionEcho>,
 }
 
@@ -284,6 +299,7 @@ impl IncrementalAggregator {
         } else {
             self.without_own_rtt_count -= 1;
         }
+        self.population -= info.weight;
     }
 }
 
@@ -304,6 +320,7 @@ impl FeedbackAggregator for IncrementalAggregator {
         } else {
             self.without_own_rtt_count += 1;
         }
+        self.population += info.weight;
         self.receivers.insert(id, info);
     }
 
@@ -321,6 +338,10 @@ impl FeedbackAggregator for IncrementalAggregator {
 
     fn len(&self) -> usize {
         self.receivers.len()
+    }
+
+    fn population(&self) -> u64 {
+        self.population
     }
 
     fn receivers_with_rtt(&self) -> usize {
@@ -375,6 +396,7 @@ impl StateFingerprint for ReceiverInfo {
         h.write_u8(self.has_own_rtt as u8);
         hash_f64(h, self.last_report_timestamp);
         hash_f64(h, self.last_report_at);
+        h.write_u64(self.weight);
     }
 }
 
@@ -472,6 +494,9 @@ impl FeedbackAggregator for Aggregator {
     fn len(&self) -> usize {
         dispatch!(self, a => a.len())
     }
+    fn population(&self) -> u64 {
+        dispatch!(self, a => a.population())
+    }
     fn receivers_with_rtt(&self) -> usize {
         dispatch!(self, a => a.receivers_with_rtt())
     }
@@ -506,6 +531,7 @@ mod tests {
             has_own_rtt: own,
             last_report_timestamp: 0.0,
             last_report_at: 0.0,
+            weight: 1,
         }
     }
 
@@ -604,6 +630,27 @@ mod tests {
             assert_eq!(a.round_min().unwrap().receiver, ReceiverId(3));
             a.reset_round();
             assert!(a.round_min().is_none());
+        }
+    }
+
+    #[test]
+    fn population_sums_weights_across_upserts_and_removals() {
+        for mut a in both() {
+            assert_eq!(a.population(), 0);
+            a.upsert(ReceiverId(1), info(50_000.0, Some(0.08), true));
+            let mut heavy = info(30_000.0, Some(0.05), true);
+            heavy.weight = 125_000;
+            a.upsert(ReceiverId(2), heavy.clone());
+            assert_eq!(a.len(), 2);
+            assert_eq!(a.population(), 125_001);
+            // Replacing an entry replaces its weight, not adds to it.
+            heavy.weight = 100;
+            a.upsert(ReceiverId(2), heavy);
+            assert_eq!(a.population(), 101);
+            assert!(a.remove(ReceiverId(2)));
+            assert_eq!(a.population(), 1);
+            assert!(a.remove(ReceiverId(1)));
+            assert_eq!(a.population(), 0);
         }
     }
 

@@ -101,6 +101,27 @@ impl FeedbackPacket {
     pub const WIRE_SIZE: u32 = 64;
 }
 
+/// A population-weighted receiver report: one synthetic report standing for
+/// `weight` receivers of a fluid population bin (hybrid packet/fluid tier).
+///
+/// The embedded [`FeedbackPacket`] carries the bin's quantile rate/RTT under
+/// a synthetic [`ReceiverId`]; the sender treats it exactly like an ordinary
+/// report except that the aggregator entry carries the bin's weight, so
+/// [`population`](crate::aggregator::FeedbackAggregator::population) reflects
+/// the receivers the session actually stands for.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PopulationReport {
+    /// The bin's report.
+    pub feedback: FeedbackPacket,
+    /// Number of receivers the report stands for (≥ 1).
+    pub weight: u64,
+}
+
+impl PopulationReport {
+    /// Wire size: a feedback packet plus the 8-byte weight.
+    pub const WIRE_SIZE: u32 = FeedbackPacket::WIRE_SIZE + 8;
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -161,6 +161,14 @@ impl TfmccSender {
         self.receivers.len()
     }
 
+    /// Total number of receivers the session stands for: the sum of the
+    /// weights of all aggregator entries.  Equal to
+    /// [`Self::known_receivers`] when every report is an ordinary (weight-1)
+    /// one; larger when fluid population bins report on behalf of many.
+    pub fn session_population(&self) -> u64 {
+        self.receivers.population()
+    }
+
     /// Number of known receivers with a valid (receiver-side) RTT measurement.
     pub fn receivers_with_rtt(&self) -> usize {
         self.receivers.receivers_with_rtt()
@@ -206,6 +214,15 @@ impl TfmccSender {
 
     /// Processes a receiver report.
     pub fn on_feedback(&mut self, now: f64, fb: &FeedbackPacket) {
+        self.on_population_feedback(now, fb, 1);
+    }
+
+    /// Processes a population-weighted receiver report: the report is handled
+    /// exactly like an ordinary one, but the aggregator entry stands for
+    /// `weight` receivers, so [`Self::session_population`] counts them all.
+    /// Fluid population agents in the hybrid tier send these under synthetic
+    /// receiver ids (one per quantized bin).
+    pub fn on_population_feedback(&mut self, now: f64, fb: &FeedbackPacket, weight: u64) {
         self.stats.feedback_received += 1;
         if fb.leaving {
             self.handle_leave(now, fb.receiver);
@@ -245,6 +262,7 @@ impl TfmccSender {
                 has_own_rtt: fb.has_rtt_measurement,
                 last_report_timestamp: fb.timestamp,
                 last_report_at: now,
+                weight,
             },
         );
 

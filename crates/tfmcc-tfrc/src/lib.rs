@@ -21,7 +21,8 @@
 use netsim::packet::{AgentId, FlowId, GroupId, NodeId, Port};
 use netsim::sim::Simulator;
 
-use tfmcc_agents::session::{ReceiverSpec, TfmccSession, TfmccSessionBuilder};
+use tfmcc_agents::population::PopulationSpec;
+use tfmcc_agents::session::{TfmccSession, TfmccSessionBuilder};
 use tfmcc_proto::config::TfmccConfig;
 
 /// A unicast TFRC flow embedded in the simulator.
@@ -81,7 +82,8 @@ impl TfrcSessionBuilder {
             start_at: self.start_at,
             ..TfmccSessionBuilder::default()
         };
-        let inner = builder.build(sim, sender_node, &[ReceiverSpec::always(receiver_node)]);
+        let inner =
+            builder.build_population(sim, sender_node, &[PopulationSpec::packet(receiver_node)]);
         TfrcSession { inner }
     }
 }

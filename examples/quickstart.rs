@@ -34,7 +34,11 @@ fn main() {
         .iter()
         .map(|&n| ReceiverSpec::always(n))
         .collect();
-    let session = TfmccSessionBuilder::default().build(&mut sim, sender_node, &specs);
+    let session = TfmccSessionBuilder::default().build_population(
+        &mut sim,
+        sender_node,
+        &PopulationSpec::packets(&specs),
+    );
 
     // Run and report every 20 simulated seconds.
     println!("time_s,sending_rate_kbit,clr,slowstart");

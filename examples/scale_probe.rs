@@ -16,11 +16,18 @@
 //! at `100000 sessions=4` that is a single simulation holding ≥ 4 concurrent
 //! TFMCC sessions totaling 10⁵ receivers.
 //!
+//! With `hybrid` the probe exercises the **population tier**: one TFMCC
+//! session whose bulk receivers are a fluid population (analytic feedback,
+//! O(bins) state) behind a four-receiver packet-level CLR cohort, so a
+//! single session can represent 10⁶–10⁷ receivers in seconds of wall time
+//! at well under 100 B of heap per fluid receiver.
+//!
 //! ```text
 //! cargo run --release --example scale_probe -- [RECEIVERS] [shared|clone] [churn]
-//!     [heap|calendar] [sessions=K]
+//!     [heap|calendar] [sessions=K] [hybrid]
 //! cargo run --release --example scale_probe -- 100000 shared churn calendar
 //! cargo run --release --example scale_probe -- 100000 sessions=4
+//! cargo run --release --example scale_probe -- 1000000 hybrid
 //! ```
 //!
 //! The scheduler token (or the `TFMCC_SCHEDULER` environment variable)
@@ -36,7 +43,9 @@ use std::time::Instant;
 
 use netsim::prelude::*;
 use tfmcc_agents::manager::{SessionManager, SessionSpec};
-use tfmcc_agents::session::ReceiverSpec;
+use tfmcc_agents::population::{FluidSpec, PopulationSpec};
+use tfmcc_agents::session::TfmccSessionBuilder;
+use tfmcc_model::population::Dist;
 
 /// Counts live heap bytes so the probe can report per-receiver memory.
 /// (Twin of the allocator in `crates/tfmcc-proto/tests/receiver_mem.rs` —
@@ -79,6 +88,7 @@ fn main() {
     let mut churn = false;
     let mut scheduler = SchedulerKind::resolve();
     let mut sessions: usize = 0;
+    let mut hybrid = false;
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
             "shared" => mode = FanoutMode::Shared,
@@ -86,6 +96,7 @@ fn main() {
             "churn" => churn = true,
             "heap" => scheduler = SchedulerKind::Heap,
             "calendar" => scheduler = SchedulerKind::Calendar,
+            "hybrid" => hybrid = true,
             other => {
                 if let Some(k) = other.strip_prefix("sessions=") {
                     match k.parse() {
@@ -105,7 +116,7 @@ fn main() {
                     }
                     Err(_) => {
                         eprintln!(
-                            "error: unknown argument '{other}' (expected a receiver count, shared|clone, churn, heap|calendar, sessions=K)"
+                            "error: unknown argument '{other}' (expected a receiver count, shared|clone, churn, heap|calendar, sessions=K, hybrid)"
                         );
                         std::process::exit(2);
                     }
@@ -114,7 +125,9 @@ fn main() {
         }
     }
 
-    if sessions > 0 {
+    if hybrid {
+        probe_hybrid(n, scheduler, mode);
+    } else if sessions > 0 {
         probe_sessions(n, sessions, scheduler, mode);
     } else {
         probe_cbr(n, mode, churn, scheduler);
@@ -203,7 +216,7 @@ fn probe_sessions(n: usize, k: usize, scheduler: SchedulerKind, mode: FanoutMode
             0.005,
             QueueDiscipline::drop_tail(60),
         );
-        let specs: Vec<ReceiverSpec> = (0..per_session)
+        let specs: Vec<PopulationSpec> = (0..per_session)
             .map(|i| {
                 let node = sim.add_node(&format!("r{session}_{i}"));
                 sim.add_duplex_link(
@@ -213,10 +226,10 @@ fn probe_sessions(n: usize, k: usize, scheduler: SchedulerKind, mode: FanoutMode
                     0.005 + 0.002 * (i % 5) as f64,
                     QueueDiscipline::drop_tail(30),
                 );
-                ReceiverSpec::always(node)
+                PopulationSpec::packet(node)
             })
             .collect();
-        manager.add_session(
+        manager.add_population_session(
             &mut sim,
             &SessionSpec::default().starting_at(session as f64 * 2.0),
             sender,
@@ -260,5 +273,69 @@ fn probe_sessions(n: usize, k: usize, scheduler: SchedulerKind, mode: FanoutMode
         built_bytes / receivers as i64,
         run_bytes as f64 / (1 << 20) as f64,
         run_bytes / receivers as i64,
+    );
+}
+
+/// The hybrid probe: one TFMCC session holding `n` receivers, of which only
+/// a four-receiver cohort (the CLR candidates, on the lossiest legs) runs at
+/// packet level — the remaining `n - 4` are a fluid population whose
+/// feedback is computed analytically per round.
+fn probe_hybrid(n: usize, scheduler: SchedulerKind, mode: FanoutMode) {
+    let cohort = 4.min(n);
+    let fluid_count = (n - cohort).max(1) as u64;
+    let heap0 = live_bytes();
+    let t0 = Instant::now();
+    let mut sim = Simulator::with_scheduler(1, scheduler);
+    sim.set_fanout_mode(mode);
+    let legs = vec![
+        StarLeg::clean(1_250_000.0, 0.03).with_downstream_loss(0.05),
+        StarLeg::clean(1_250_000.0, 0.02).with_downstream_loss(0.02),
+        StarLeg::clean(1_250_000.0, 0.02).with_downstream_loss(0.01),
+        StarLeg::clean(1_250_000.0, 0.02),
+        StarLeg::clean(12_500_000.0, 0.01),
+    ];
+    let st = star(&mut sim, &StarConfig::default(), &legs);
+    let mut specs: Vec<PopulationSpec> = (0..cohort)
+        .map(|i| PopulationSpec::packet(st.receivers[i]))
+        .collect();
+    specs.push(PopulationSpec::Fluid(FluidSpec::new(
+        st.receivers[4],
+        fluid_count,
+        Dist::Uniform {
+            lo: 0.001,
+            hi: 0.008,
+        },
+        Dist::Uniform { lo: 0.04, hi: 0.08 },
+    )));
+    let session = TfmccSessionBuilder::default().build_population(&mut sim, st.sender, &specs);
+    let built = t0.elapsed();
+    let built_bytes = live_bytes() - heap0;
+
+    let duration = 60.0;
+    let t1 = Instant::now();
+    sim.run_until(SimTime::from_secs(duration));
+    let ran = t1.elapsed();
+    let run_bytes = live_bytes() - heap0;
+
+    let sender = session.sender_agent(&sim).protocol();
+    let fluid = session.fluid_agent(&sim, 0);
+    println!(
+        "n={n} hybrid cohort={cohort} fluid={fluid_count} scheduler={scheduler:?} mode={mode:?} build={built:?} run={ran:?} events={}",
+        sim.events_processed()
+    );
+    println!(
+        "population={} clr={:?} rate={:.1} kbit/s fluid_reports={} bins={}",
+        sender.session_population(),
+        sender.clr().map(|c| c.0),
+        sender.current_rate() * 8.0 / 1000.0,
+        fluid.reports_sent(),
+        fluid.bins().len(),
+    );
+    println!(
+        "heap: {:.1} MB after build ({:.2} B/fluid receiver), {:.1} MB after run ({:.2} B/fluid receiver)",
+        built_bytes as f64 / (1 << 20) as f64,
+        built_bytes as f64 / fluid_count as f64,
+        run_bytes as f64 / (1 << 20) as f64,
+        run_bytes as f64 / fluid_count as f64,
     );
 }

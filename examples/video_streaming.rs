@@ -31,7 +31,11 @@ fn main() {
 
     let mut specs: Vec<ReceiverSpec> = viewers.iter().map(|&v| ReceiverSpec::always(v)).collect();
     specs.push(ReceiverSpec::joining_at(dsl, 120.0).leaving_at(200.0));
-    let session = TfmccSessionBuilder::default().build(&mut sim, src, &specs);
+    let session = TfmccSessionBuilder::default().build_population(
+        &mut sim,
+        src,
+        &PopulationSpec::packets(&specs),
+    );
 
     // Two TCP downloads share the backbone for the whole session.
     let mut tcp_sinks = Vec::new();

@@ -61,24 +61,25 @@ for bin in "${bins[@]}"; do
 done
 
 # Second-scheduler smoke: rerun the churn workload and the multi-session
-# fairness workload under the calendar-queue event scheduler.  Both
-# schedulers must produce byte-identical figures (the netsim determinism
-# contract), so each calendar run is compared against the heap run's JSON,
-# keeping the second scheduler exercised and its equivalence enforced end
-# to end — including across concurrent TFMCC sessions.
+# fairness workload under the binary-heap event scheduler (the fallback to
+# the calendar-queue default).  Both schedulers must produce byte-identical
+# figures (the netsim determinism contract), so each heap run is compared
+# against the default run's JSON, keeping the fallback scheduler exercised
+# and its equivalence enforced end to end — including across concurrent
+# TFMCC sessions.
 for bin in fig22_churn fig23_intertfmcc; do
-    cal_json="$out_dir/$bin.calendar.json"
-    cal_csv="$out_dir/$bin.calendar.csv"
-    rm -f "$cal_json" "$cal_csv"
-    if ! TFMCC_SCHEDULER=calendar cargo run --release --quiet -p tfmcc-experiments --bin "$bin" -- \
-        --quick --threads 2 --out "$cal_json" > "$cal_csv"; then
-        echo "FAIL $bin under TFMCC_SCHEDULER=calendar (non-zero exit)" >&2
+    heap_json="$out_dir/$bin.heap.json"
+    heap_csv="$out_dir/$bin.heap.csv"
+    rm -f "$heap_json" "$heap_csv"
+    if ! TFMCC_SCHEDULER=heap cargo run --release --quiet -p tfmcc-experiments --bin "$bin" -- \
+        --quick --threads 2 --out "$heap_json" > "$heap_csv"; then
+        echo "FAIL $bin under TFMCC_SCHEDULER=heap (non-zero exit)" >&2
         status=1
-    elif ! cmp -s "$out_dir/$bin.json" "$cal_json"; then
-        echo "FAIL $bin: calendar-scheduler output differs from the heap run" >&2
+    elif ! cmp -s "$out_dir/$bin.json" "$heap_json"; then
+        echo "FAIL $bin: heap-scheduler output differs from the calendar run" >&2
         status=1
     else
-        echo "ok   $bin (calendar scheduler, byte-identical)"
+        echo "ok   $bin (heap scheduler, byte-identical)"
     fi
 done
 exit "$status"

@@ -40,6 +40,8 @@ pub use tfmcc_transport as transport;
 /// Commonly used types across the workspace.
 pub mod prelude {
     pub use netsim::prelude::*;
+    pub use tfmcc_agents::population::{FluidSpec, PopulationSpec};
     pub use tfmcc_agents::session::{ReceiverSpec, TfmccSession, TfmccSessionBuilder};
+    pub use tfmcc_model::population::Dist;
     pub use tfmcc_proto::prelude::*;
 }

@@ -28,7 +28,11 @@ fn single_rate_property_holds_across_heterogeneous_receivers() {
         nodes.push(n);
     }
     let specs: Vec<ReceiverSpec> = nodes.iter().map(|&n| ReceiverSpec::always(n)).collect();
-    let session = TfmccSessionBuilder::default().build(&mut sim, src, &specs);
+    let session = TfmccSessionBuilder::default().build_population(
+        &mut sim,
+        src,
+        &PopulationSpec::packets(&specs),
+    );
     sim.run_until(SimTime::from_secs(150.0));
 
     let sender = session.sender_agent(&sim).protocol();
@@ -69,10 +73,10 @@ fn tfmcc_coexists_with_tcp_and_is_smoother() {
         ..DumbbellConfig::default()
     };
     let d = tfmcc::sim::topology::dumbbell(&mut sim, &cfg);
-    let session = TfmccSessionBuilder::default().build(
+    let session = TfmccSessionBuilder::default().build_population(
         &mut sim,
         d.senders[0],
-        &[ReceiverSpec::always(d.receivers[0])],
+        &[PopulationSpec::packet(d.receivers[0])],
     );
     let tcp_sink = sim.add_agent(d.receivers[1], Port(1), Box::new(TcpSink::new(1.0)));
     sim.add_agent(
@@ -130,7 +134,11 @@ fn feedback_volume_scales_sublinearly_with_receivers() {
         nodes.push(r);
     }
     let specs: Vec<ReceiverSpec> = nodes.iter().map(|&r| ReceiverSpec::always(r)).collect();
-    let session = TfmccSessionBuilder::default().build(&mut sim, src, &specs);
+    let session = TfmccSessionBuilder::default().build_population(
+        &mut sim,
+        src,
+        &PopulationSpec::packets(&specs),
+    );
     let duration = 120.0;
     sim.run_until(SimTime::from_secs(duration));
 

@@ -7,7 +7,7 @@ use proptest::prelude::*;
 
 use netsim::packet::{FlowId, GroupId, Port};
 use netsim::sim::Simulator;
-use tfmcc::agents::{ReceiverSpec, SessionManager, SessionSpec};
+use tfmcc::agents::{PopulationSpec, ReceiverSpec, SessionManager, SessionSpec};
 use tfmcc::model::throughput::{mathis_loss_rate, mathis_throughput, padhye_throughput};
 use tfmcc::proto::config::TfmccConfig;
 use tfmcc::proto::feedback::FeedbackPlanner;
@@ -112,7 +112,7 @@ proptest! {
             } else {
                 SessionSpec::default()
             };
-            mgr.add_session(&mut sim, &spec, a, &[ReceiverSpec::always(b)]);
+            mgr.add_population_session(&mut sim, &spec, a, &[PopulationSpec::packet(b)]);
         }
         prop_assert_eq!(mgr.len(), explicit.len());
         let mut groups = HashSet::new();
@@ -142,7 +142,7 @@ proptest! {
         let mut mgr = SessionManager::new();
         for (i, &start_at) in start_ats.iter().enumerate().take(n) {
             let spec = SessionSpec::default().starting_at(start_at);
-            let id = mgr.add_session(&mut sim, &spec, a, &[ReceiverSpec::always(b)]);
+            let id = mgr.add_population_session(&mut sim, &spec, a, &[PopulationSpec::packet(b)]);
             let s = mgr.session(id);
             prop_assert_eq!(s.group, GroupId(1 + i as u32));
             prop_assert_eq!(s.data_port, Port(5000 + 2 * i as u16));
@@ -179,17 +179,17 @@ fn session_manager_validation_panics_are_exhaustive() {
     let a = sim.add_node("sender");
     let b = sim.add_node("receiver");
     let mut mgr = SessionManager::new();
-    mgr.add_session(
+    mgr.add_population_session(
         &mut sim,
         &SessionSpec::default(),
         a,
-        &[ReceiverSpec::always(b)],
+        &[PopulationSpec::packet(b)],
     );
 
     let mut expect_panic = |spec: SessionSpec, receivers: Vec<ReceiverSpec>, needle: &str| {
         let before = mgr.len();
         let err = catch_unwind(AssertUnwindSafe(|| {
-            mgr.add_session(&mut sim, &spec, a, &receivers);
+            mgr.add_population_session(&mut sim, &spec, a, &PopulationSpec::packets(&receivers));
         }))
         .expect_err(&format!("bad input must panic (wanted: {needle})"));
         let msg = err
