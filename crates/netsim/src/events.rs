@@ -32,7 +32,7 @@
 //! [`EventQueue::len`] in either implementation.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashSet, VecDeque};
+use std::collections::{BTreeSet, BinaryHeap, VecDeque};
 
 use crate::time::SimTime;
 
@@ -186,7 +186,7 @@ pub struct HeapQueue<T> {
     /// `seq`s of cancelled entries still inside the heap; drained as the
     /// entries surface at the top (in `pop`/`peek_time`), so the set stays
     /// bounded by the number of cancelled entries still queued.
-    tombstones: HashSet<u64>,
+    tombstones: BTreeSet<u64>,
 }
 
 impl<T> HeapQueue<T> {
@@ -194,7 +194,7 @@ impl<T> HeapQueue<T> {
     pub fn new() -> Self {
         HeapQueue {
             heap: BinaryHeap::with_capacity(1024),
-            tombstones: HashSet::new(),
+            tombstones: BTreeSet::new(),
         }
     }
 

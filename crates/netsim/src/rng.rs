@@ -24,11 +24,11 @@ pub fn stream_seed(root: u64, stream: u64) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::collections::HashSet;
+    use std::collections::BTreeSet;
 
     #[test]
     fn streams_are_distinct() {
-        let mut seen = HashSet::new();
+        let mut seen = BTreeSet::new();
         for stream in 0..10_000u64 {
             assert!(
                 seen.insert(stream_seed(42, stream)),

@@ -18,7 +18,7 @@
 //! Dijkstra per *node* up front and rebuilt every tree on every membership
 //! change.
 
-use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
 use std::sync::Arc;
 
 use crate::packet::{GroupId, LinkId, NodeId};
@@ -102,10 +102,10 @@ pub struct RoutingTable {
     /// per-destination reverse Dijkstra.
     rev: Vec<Vec<Hop>>,
     /// `to` node of every link, indexed by `LinkId`.
-    link_to: HashMap<LinkId, NodeId>,
+    link_to: BTreeMap<LinkId, NodeId>,
     /// Lazily computed: for destination `d`, `toward[&d][src]` is the next
     /// outgoing link at `src` on the shortest path to `d`.
-    toward: HashMap<NodeId, Vec<Option<LinkId>>>,
+    toward: BTreeMap<NodeId, Vec<Option<LinkId>>>,
 }
 
 impl RoutingTable {
@@ -114,7 +114,7 @@ impl RoutingTable {
     pub fn compute(node_count: usize, edges: &[Edge]) -> Self {
         let mut fwd: Vec<Vec<Hop>> = vec![Vec::new(); node_count];
         let mut rev: Vec<Vec<Hop>> = vec![Vec::new(); node_count];
-        let mut link_to = HashMap::with_capacity(edges.len());
+        let mut link_to = BTreeMap::new();
         for e in edges {
             let cost = e.delay + HOP_EPSILON;
             fwd[e.from.0].push((e.to, e.link, cost));
@@ -126,7 +126,7 @@ impl RoutingTable {
             fwd,
             rev,
             link_to,
-            toward: HashMap::new(),
+            toward: BTreeMap::new(),
         }
     }
 
@@ -235,15 +235,15 @@ fn dijkstra_hops(adjacency: &[Vec<Hop>], root: usize) -> Vec<Option<(NodeId, Lin
 /// equivalence tests and the fan-out microbench compare against.
 #[derive(Debug, Clone, Default)]
 pub struct DistributionTree {
-    children: HashMap<NodeId, Vec<LinkId>>,
+    children: BTreeMap<NodeId, Vec<LinkId>>,
 }
 
 impl DistributionTree {
     /// Builds the tree rooted at `source` spanning `members` (node ids of
     /// the group's receivers) as the union of shortest paths.
-    pub fn build(source: NodeId, members: &HashSet<NodeId>, routes: &RoutingTable) -> Self {
+    pub fn build(source: NodeId, members: &BTreeSet<NodeId>, routes: &RoutingTable) -> Self {
         let parents = routes.parents_from(source);
-        let mut children: HashMap<NodeId, HashSet<LinkId>> = HashMap::new();
+        let mut children: BTreeMap<NodeId, BTreeSet<LinkId>> = BTreeMap::new();
         for &member in members {
             if member == source || !parents.reachable(member) {
                 continue; // unreachable member: skip
@@ -255,13 +255,11 @@ impl DistributionTree {
             }
         }
         DistributionTree {
+            // BTreeSet iterates in order, so the per-node link lists come out
+            // sorted without an explicit sort.
             children: children
                 .into_iter()
-                .map(|(n, set)| {
-                    let mut v: Vec<LinkId> = set.into_iter().collect();
-                    v.sort();
-                    (n, v)
-                })
+                .map(|(n, set)| (n, set.into_iter().collect()))
                 .collect(),
         }
     }
@@ -298,7 +296,7 @@ pub struct SourceTree {
 
 impl SourceTree {
     /// Builds the tree rooted at `source` and attaches every current member.
-    pub fn build(source: NodeId, members: &HashSet<NodeId>, routes: &RoutingTable) -> Self {
+    pub fn build(source: NodeId, members: &BTreeSet<NodeId>, routes: &RoutingTable) -> Self {
         let parents = routes.parents_from(source);
         let node_count = parents.parent.len();
         let empty = Arc::new(Vec::new());
@@ -307,10 +305,9 @@ impl SourceTree {
             cnt: vec![0; node_count],
             out: vec![empty; node_count],
         };
-        // Deterministic attach order (members come from a HashSet).
-        let mut ordered: Vec<NodeId> = members.iter().copied().collect();
-        ordered.sort();
-        for member in ordered {
+        // BTreeSet iteration is already the deterministic (ascending) attach
+        // order.
+        for &member in members {
             tree.add_member(member);
         }
         tree
@@ -370,12 +367,12 @@ impl SourceTree {
 #[derive(Debug, Default)]
 pub struct MulticastState {
     /// Group -> member node set.
-    members: HashMap<GroupId, HashSet<NodeId>>,
+    members: BTreeMap<GroupId, BTreeSet<NodeId>>,
     /// Incrementally maintained trees keyed by (group, source node).
-    trees: HashMap<(GroupId, NodeId), SourceTree>,
+    trees: BTreeMap<(GroupId, NodeId), SourceTree>,
     /// Rebuild-from-scratch trees for the clone-based reference fan-out;
     /// invalidated (seed behaviour) on every membership change.
-    ref_trees: HashMap<(GroupId, NodeId), DistributionTree>,
+    ref_trees: BTreeMap<(GroupId, NodeId), DistributionTree>,
 }
 
 impl MulticastState {
@@ -409,7 +406,7 @@ impl MulticastState {
     }
 
     /// Member node set of a group (empty if the group does not exist).
-    pub fn members(&self, group: GroupId) -> HashSet<NodeId> {
+    pub fn members(&self, group: GroupId) -> BTreeSet<NodeId> {
         self.members.get(&group).cloned().unwrap_or_default()
     }
 
@@ -418,7 +415,7 @@ impl MulticastState {
     pub fn tree(&mut self, group: GroupId, source: NodeId, routes: &RoutingTable) -> &SourceTree {
         let members = self.members.get(&group);
         self.trees.entry((group, source)).or_insert_with(|| {
-            let empty = HashSet::new();
+            let empty = BTreeSet::new();
             SourceTree::build(source, members.unwrap_or(&empty), routes)
         })
     }
@@ -542,7 +539,7 @@ mod tests {
     fn distribution_tree_is_union_of_paths() {
         let (n, edges) = line_graph();
         let rt = RoutingTable::compute(n, &edges);
-        let members: HashSet<NodeId> = [NodeId(2), NodeId(3)].into_iter().collect();
+        let members: BTreeSet<NodeId> = [NodeId(2), NodeId(3)].into_iter().collect();
         let tree = DistributionTree::build(NodeId(0), &members, &rt);
         // Node 0 forwards once toward node 1; node 1 branches to 2 and 3.
         assert_eq!(tree.out_links(NodeId(0)), &[LinkId(0)]);
@@ -557,7 +554,7 @@ mod tests {
     fn source_tree_incremental_updates_match_rebuilds() {
         let (n, edges) = line_graph();
         let rt = RoutingTable::compute(n, &edges);
-        let mut members: HashSet<NodeId> = HashSet::new();
+        let mut members: BTreeSet<NodeId> = BTreeSet::new();
         let mut tree = SourceTree::build(NodeId(0), &members, &rt);
         assert_eq!(tree.edge_count(), 0);
 
@@ -620,7 +617,7 @@ mod tests {
     fn source_inside_member_set_is_ignored() {
         let (n, edges) = line_graph();
         let rt = RoutingTable::compute(n, &edges);
-        let members: HashSet<NodeId> = [NodeId(0), NodeId(2)].into_iter().collect();
+        let members: BTreeSet<NodeId> = [NodeId(0), NodeId(2)].into_iter().collect();
         let tree = DistributionTree::build(NodeId(0), &members, &rt);
         assert_eq!(tree.edge_count(), 2); // only the path to node 2
         let inc = SourceTree::build(NodeId(0), &members, &rt);

@@ -21,7 +21,7 @@
 //! within their callbacks without aliasing issues.
 
 use std::any::Any;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 use rand::rngs::SmallRng;
@@ -112,13 +112,13 @@ enum EventKind {
 struct Node {
     #[allow(dead_code)]
     name: String,
-    agents: HashMap<Port, AgentId>,
-    /// Unordered subscription sets — the source of truth, and what the
-    /// clone-based reference fan-out collects and sorts per send.
-    subscriptions: HashMap<GroupId, HashSet<AgentId>>,
+    agents: BTreeMap<Port, AgentId>,
+    /// Subscription sets — the source of truth, and what the clone-based
+    /// reference fan-out collects and sorts per send.
+    subscriptions: BTreeMap<GroupId, BTreeSet<AgentId>>,
     /// Sorted subscriber lists maintained on join/leave; the shared fan-out
     /// clones the `Arc` and iterates without allocating.
-    subscriber_cache: HashMap<GroupId, Arc<Vec<AgentId>>>,
+    subscriber_cache: BTreeMap<GroupId, Arc<Vec<AgentId>>>,
 }
 
 /// Everything in the simulation except the agents themselves.
@@ -137,14 +137,14 @@ pub struct World {
     /// Cached per-group join/leave counter names, so membership churn (a
     /// frequent event under the churn workloads) does not format a fresh
     /// key string on every transition.
-    group_stat_keys: HashMap<GroupId, (String, String)>,
+    group_stat_keys: BTreeMap<GroupId, (String, String)>,
     agent_addrs: Vec<Address>,
     /// Timer id → `(fire time, event seq)` of every scheduled, not yet fired
     /// or cancelled timer.  Cancellation resolves through this table, so a
     /// stale [`Context::cancel`] (the timer already fired) is a no-op and —
     /// unlike the historical tombstone-only design — cannot leave a
     /// permanent tombstone behind.
-    pending_timers: HashMap<u64, (SimTime, u64)>,
+    pending_timers: BTreeMap<u64, (SimTime, u64)>,
     next_timer: u64,
     next_packet: u64,
     /// The simulation's root seed; per-link RNG streams are derived from it.
@@ -170,9 +170,9 @@ impl World {
             routes_dirty: true,
             multicast: MulticastState::default(),
             stats: StatsRegistry::new(),
-            group_stat_keys: HashMap::new(),
+            group_stat_keys: BTreeMap::new(),
             agent_addrs: Vec::new(),
-            pending_timers: HashMap::new(),
+            pending_timers: BTreeMap::new(),
             next_timer: 0,
             next_packet: 0,
             seed,
@@ -340,7 +340,7 @@ impl World {
 
     /// The cached `(joins, leaves)` counter names of a group.
     fn group_keys(
-        cache: &mut HashMap<GroupId, (String, String)>,
+        cache: &mut BTreeMap<GroupId, (String, String)>,
         group: GroupId,
     ) -> &(String, String) {
         cache.entry(group).or_insert_with(|| {

@@ -6,7 +6,7 @@
 //! binned byte counting, [`StatsRegistry`] the named series/counters used to
 //! pull results out of a finished simulation.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::time::SimTime;
 
@@ -150,8 +150,8 @@ impl ThroughputMeter {
 /// Named counters and time series shared across a simulation run.
 #[derive(Debug, Default)]
 pub struct StatsRegistry {
-    counters: HashMap<String, f64>,
-    series: HashMap<String, Vec<(f64, f64)>>,
+    counters: BTreeMap<String, f64>,
+    series: BTreeMap<String, Vec<(f64, f64)>>,
 }
 
 impl StatsRegistry {
@@ -183,18 +183,15 @@ impl StatsRegistry {
         self.series.get(name).map(Vec::as_slice).unwrap_or(&[])
     }
 
-    /// Names of all recorded series, sorted.
+    /// Names of all recorded series, sorted (the registry map is ordered, so
+    /// key iteration is already sorted).
     pub fn series_names(&self) -> Vec<String> {
-        let mut names: Vec<String> = self.series.keys().cloned().collect();
-        names.sort();
-        names
+        self.series.keys().cloned().collect()
     }
 
     /// Names of all counters, sorted.
     pub fn counter_names(&self) -> Vec<String> {
-        let mut names: Vec<String> = self.counters.keys().cloned().collect();
-        names.sort();
-        names
+        self.counters.keys().cloned().collect()
     }
 }
 

@@ -16,6 +16,8 @@
 //!   [`tfmcc_proto::feedback::FeedbackPlanner`], so the numbers measured here
 //!   describe exactly the code the protocol runs.
 
+// Enforced by tfmcc-lint rule U001: pure math/protocol logic, no unsafe.
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -1,0 +1,408 @@
+//! A minimal Rust lexer — just enough syntax awareness for span-accurate
+//! determinism lints.
+//!
+//! The rules in [`crate::rules`] match on *identifier token sequences*
+//! (`HashMap`, `Instant :: now`, …), so the lexer's only job is to separate
+//! identifiers from everything they could be confused with: string/char
+//! literals (a `"HashMap"` in a test fixture must not trip D001), comments
+//! (doc prose mentions banned names constantly), lifetimes, numbers and
+//! punctuation.  Comments are kept as tokens because two rules read them:
+//! the suppression-pragma parser ([`crate::pragma`]) and U001's `// SAFETY:`
+//! requirement.
+//!
+//! It is not a full Rust lexer — no float-vs-range disambiguation beyond
+//! what the rules need, no shebang handling — but it is exact on the
+//! constructs that appear in this workspace, and the fixture tests pin the
+//! corner cases (raw strings, nested block comments, lifetimes, numeric
+//! suffixes).
+
+/// What kind of lexeme a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`HashMap`, `unsafe`, `r#raw`).
+    Ident,
+    /// Lifetime (`'a`) — distinguished from char literals.
+    Lifetime,
+    /// String, raw-string, byte-string, char or numeric literal.
+    Literal,
+    /// Single punctuation character (`<`, `:`, `(`, …).
+    Punct,
+    /// `// …` comment, text including the slashes, excluding the newline.
+    LineComment,
+    /// `/* … */` comment (possibly nested, possibly multi-line).
+    BlockComment,
+}
+
+/// One lexeme with its 1-based source position.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Lexeme class.
+    pub kind: TokenKind,
+    /// Verbatim source text of the token.
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: usize,
+    /// 1-based column (in characters) of the token's first character.
+    pub column: usize,
+}
+
+struct Cursor<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    line: usize,
+    column: usize,
+    src: std::marker::PhantomData<&'a str>,
+}
+
+impl Cursor<'_> {
+    fn new(src: &str) -> Self {
+        Cursor {
+            chars: src.chars().collect(),
+            pos: 0,
+            line: 1,
+            column: 1,
+            src: std::marker::PhantomData,
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, offset: usize) -> Option<char> {
+        self.chars.get(self.pos + offset).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.column = 1;
+        } else {
+            self.column += 1;
+        }
+        Some(c)
+    }
+
+    fn eat_while(&mut self, out: &mut String, mut f: impl FnMut(char) -> bool) {
+        while let Some(c) = self.peek() {
+            if !f(c) {
+                break;
+            }
+            out.push(c);
+            self.bump();
+        }
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes `src` into a flat token stream (comments included).
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut cur = Cursor::new(src);
+    let mut tokens = Vec::new();
+    while let Some(c) = cur.peek() {
+        let (line, column) = (cur.line, cur.column);
+        if c.is_whitespace() {
+            cur.bump();
+            continue;
+        }
+        let token = if c == '/' && cur.peek_at(1) == Some('/') {
+            lex_line_comment(&mut cur)
+        } else if c == '/' && cur.peek_at(1) == Some('*') {
+            lex_block_comment(&mut cur)
+        } else if c == '"' {
+            lex_string(&mut cur)
+        } else if (c == 'r' || c == 'b' || c == 'c') && starts_raw_or_byte_string(&cur) {
+            lex_raw_or_byte_string(&mut cur)
+        } else if c == '\'' {
+            lex_quote(&mut cur)
+        } else if is_ident_start(c) {
+            lex_ident(&mut cur)
+        } else if c.is_ascii_digit() {
+            lex_number(&mut cur)
+        } else {
+            cur.bump();
+            (TokenKind::Punct, c.to_string())
+        };
+        tokens.push(Token {
+            kind: token.0,
+            text: token.1,
+            line,
+            column,
+        });
+    }
+    tokens
+}
+
+/// True when the cursor sits on `r"`, `r#`-then-`"`, `b"`, `br"`, `c"`, …
+/// (a raw/byte/C string) rather than an identifier starting with that letter.
+fn starts_raw_or_byte_string(cur: &Cursor<'_>) -> bool {
+    let mut i = 1;
+    // Optional second prefix letter (`br`, `cr`).
+    if matches!(cur.peek_at(i), Some('r')) && matches!(cur.peek(), Some('b' | 'c')) {
+        i += 1;
+    }
+    let mut j = i;
+    while matches!(cur.peek_at(j), Some('#')) {
+        j += 1;
+    }
+    if matches!(cur.peek_at(j), Some('"')) {
+        // `r#ident` (raw identifier) has no quote after its single `#`.
+        return true;
+    }
+    // Plain byte string `b"..."` / `c"..."` with no hashes.
+    j == i && matches!(cur.peek_at(i), Some('"'))
+}
+
+fn lex_line_comment(cur: &mut Cursor<'_>) -> (TokenKind, String) {
+    let mut text = String::new();
+    cur.eat_while(&mut text, |c| c != '\n');
+    (TokenKind::LineComment, text)
+}
+
+fn lex_block_comment(cur: &mut Cursor<'_>) -> (TokenKind, String) {
+    let mut text = String::new();
+    let mut depth = 0usize;
+    while let Some(c) = cur.peek() {
+        if c == '/' && cur.peek_at(1) == Some('*') {
+            depth += 1;
+            text.push(cur.bump().unwrap());
+            text.push(cur.bump().unwrap());
+        } else if c == '*' && cur.peek_at(1) == Some('/') {
+            depth -= 1;
+            text.push(cur.bump().unwrap());
+            text.push(cur.bump().unwrap());
+            if depth == 0 {
+                break;
+            }
+        } else {
+            text.push(cur.bump().unwrap());
+        }
+    }
+    (TokenKind::BlockComment, text)
+}
+
+fn lex_string(cur: &mut Cursor<'_>) -> (TokenKind, String) {
+    let mut text = String::new();
+    text.push(cur.bump().unwrap()); // opening quote
+    while let Some(c) = cur.peek() {
+        if c == '\\' {
+            text.push(cur.bump().unwrap());
+            if let Some(esc) = cur.bump() {
+                text.push(esc);
+            }
+        } else if c == '"' {
+            text.push(cur.bump().unwrap());
+            break;
+        } else {
+            text.push(cur.bump().unwrap());
+        }
+    }
+    (TokenKind::Literal, text)
+}
+
+fn lex_raw_or_byte_string(cur: &mut Cursor<'_>) -> (TokenKind, String) {
+    let mut text = String::new();
+    let mut raw = false;
+    // Prefix letters: `b`/`c` optionally followed by `r` (`r`, `b`, `br`,
+    // `c`, `cr`); `r` is always the last prefix letter.
+    while let Some(c) = cur.peek() {
+        match c {
+            'r' => {
+                raw = true;
+                text.push(cur.bump().unwrap());
+                break;
+            }
+            'b' | 'c' => {
+                text.push(cur.bump().unwrap());
+            }
+            _ => break,
+        }
+    }
+    let mut hashes = 0usize;
+    while cur.peek() == Some('#') {
+        hashes += 1;
+        text.push(cur.bump().unwrap());
+    }
+    debug_assert_eq!(cur.peek(), Some('"'), "caller checked the opening quote");
+    text.push(cur.bump().unwrap());
+    while let Some(c) = cur.peek() {
+        if c == '\\' && !raw {
+            text.push(cur.bump().unwrap());
+            if let Some(esc) = cur.bump() {
+                text.push(esc);
+            }
+            continue;
+        }
+        text.push(cur.bump().unwrap());
+        if c == '"' {
+            let mut matched = 0usize;
+            while matched < hashes && cur.peek() == Some('#') {
+                text.push(cur.bump().unwrap());
+                matched += 1;
+            }
+            if matched == hashes {
+                break;
+            }
+        }
+    }
+    (TokenKind::Literal, text)
+}
+
+/// `'` starts either a char literal (`'x'`, `'\n'`) or a lifetime (`'a`).
+fn lex_quote(cur: &mut Cursor<'_>) -> (TokenKind, String) {
+    let mut text = String::new();
+    text.push(cur.bump().unwrap()); // the quote
+    match cur.peek() {
+        Some('\\') => {
+            // Escaped char literal: consume through the closing quote.
+            text.push(cur.bump().unwrap());
+            if let Some(esc) = cur.bump() {
+                text.push(esc);
+            }
+            cur.eat_while(&mut text, |c| c != '\'');
+            if cur.peek() == Some('\'') {
+                text.push(cur.bump().unwrap());
+            }
+            (TokenKind::Literal, text)
+        }
+        Some(c) if is_ident_start(c) && cur.peek_at(1) != Some('\'') => {
+            // Lifetime: `'` + ident with no closing quote.
+            cur.eat_while(&mut text, is_ident_continue);
+            (TokenKind::Lifetime, text)
+        }
+        _ => {
+            // Char literal `'x'` (possibly non-ident char like `'<'`).
+            if let Some(c) = cur.bump() {
+                text.push(c);
+            }
+            if cur.peek() == Some('\'') {
+                text.push(cur.bump().unwrap());
+            }
+            (TokenKind::Literal, text)
+        }
+    }
+}
+
+fn lex_ident(cur: &mut Cursor<'_>) -> (TokenKind, String) {
+    let mut text = String::new();
+    if cur.peek() == Some('r') && cur.peek_at(1) == Some('#') {
+        // Raw identifier `r#type`.
+        text.push(cur.bump().unwrap());
+        text.push(cur.bump().unwrap());
+    }
+    cur.eat_while(&mut text, is_ident_continue);
+    (TokenKind::Ident, text)
+}
+
+fn lex_number(cur: &mut Cursor<'_>) -> (TokenKind, String) {
+    let mut text = String::new();
+    cur.eat_while(&mut text, |c| c.is_ascii_alphanumeric() || c == '_');
+    // Fractional part: only when followed by a digit (so `0..10` stays a
+    // range, not a malformed float).
+    if cur.peek() == Some('.') && cur.peek_at(1).is_some_and(|c| c.is_ascii_digit()) {
+        text.push(cur.bump().unwrap());
+        cur.eat_while(&mut text, |c| c.is_ascii_alphanumeric() || c == '_');
+    }
+    // Signed exponent (`1.5e-3`): the `e` was consumed above.
+    if (text.ends_with('e') || text.ends_with('E'))
+        && matches!(cur.peek(), Some('+' | '-'))
+        && cur.peek_at(1).is_some_and(|c| c.is_ascii_digit())
+    {
+        text.push(cur.bump().unwrap());
+        cur.eat_while(&mut text, |c| c.is_ascii_alphanumeric() || c == '_');
+    }
+    (TokenKind::Literal, text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_identifiers() {
+        let src = r##"
+            let a = "HashMap inside a string";
+            // HashMap inside a line comment
+            /* HashMap inside a /* nested */ block comment */
+            let b = r#"HashMap inside a raw string"#;
+            let c = b"HashMap bytes";
+        "##;
+        let ids = idents(src);
+        assert!(!ids.iter().any(|i| i == "HashMap"), "{ids:?}");
+        assert_eq!(ids, vec!["let", "a", "let", "b", "let", "c"]);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> char { 'x' }";
+        let toks = lex(src);
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        let chars: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Literal && t.text.starts_with('\''))
+            .collect();
+        assert_eq!(chars.len(), 1);
+        assert_eq!(chars[0].text, "'x'");
+    }
+
+    #[test]
+    fn escaped_char_literal_does_not_derail() {
+        let ids = idents(r"let nl = '\n'; let q = '\''; let after = HashMap;");
+        assert!(ids.iter().any(|i| i == "HashMap"), "{ids:?}");
+    }
+
+    #[test]
+    fn numeric_suffixes_are_not_identifiers() {
+        let ids = idents("let x = 1.0f64 + 2f32 + 0x1F_u64 + 1.5e-3; f64::MAX");
+        assert_eq!(
+            ids.iter().filter(|i| i.as_str() == "f64").count(),
+            1,
+            "{ids:?}"
+        );
+        assert!(!ids.iter().any(|i| i == "f32"), "{ids:?}");
+    }
+
+    #[test]
+    fn spans_are_one_based_and_accurate() {
+        let toks = lex("a\n  bee");
+        assert_eq!((toks[0].line, toks[0].column), (1, 1));
+        assert_eq!((toks[1].line, toks[1].column), (2, 3));
+        assert_eq!(toks[1].text, "bee");
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_idents() {
+        let ids = idents("let r#type = 1; r#match();");
+        assert!(ids.contains(&"r#type".to_string()), "{ids:?}");
+        assert!(ids.contains(&"r#match".to_string()), "{ids:?}");
+    }
+
+    #[test]
+    fn comment_tokens_carry_their_text() {
+        let toks = lex("// tfmcc-lint: allow(D001, reason = \"x\")\nlet a = 1;");
+        assert_eq!(toks[0].kind, TokenKind::LineComment);
+        assert!(toks[0].text.contains("allow(D001"));
+        assert_eq!(toks[0].line, 1);
+    }
+}

@@ -1,0 +1,149 @@
+//! `tfmcc-lint` — the workspace determinism linter.
+//!
+//! Everything this repository claims (feedback suppression at 10⁵–10⁷
+//! receivers, scheduler equivalence, `tfmcc-replay-v1` files reproducing
+//! Jain/recovery values bit-identically) rests on one contract: **a
+//! simulation's output is a pure function of its configuration and seed**.
+//! The dynamic enforcement (proptests, golden files, byte-compares) only
+//! catches a violation after it has produced a flaky run; this crate
+//! enforces the contract *statically*, at CI time, by walking every `.rs`
+//! file in `crates/`, `src/`, `examples/` and `tests/` and applying the
+//! determinism rules (see [`rules`] for the rule table).
+//!
+//! Findings can be suppressed in place with
+//! `// tfmcc-lint: allow(<RULE>, reason = "...")` — the reason is mandatory
+//! and its absence is itself a finding ([`pragma`]).
+//!
+//! The crate is deliberately std-only: the linter is part of the trust
+//! chain, so it depends on nothing it would have to lint.
+//!
+//! Run it with `cargo run -p tfmcc-lint -- --workspace`; it exits nonzero on
+//! any unsuppressed finding and writes a machine-readable report with
+//! `--json <path>`.
+
+pub mod lexer;
+pub mod pragma;
+pub mod report;
+pub mod rules;
+
+use std::path::{Path, PathBuf};
+
+use report::Summary;
+use rules::Finding;
+
+/// Directories scanned under the workspace root.  `vendor/` is excluded by
+/// design: the vendored stubs mirror external crates' APIs and are covered
+/// by the clippy `disallowed-types` mirror instead.
+pub const SCAN_ROOTS: &[&str] = &["crates", "src", "examples", "tests"];
+
+/// Lints one file's source text.  `path` must be workspace-relative with
+/// forward slashes — rule applicability is derived from it.  Returns the
+/// surviving findings and the number suppressed by valid pragmas.
+pub fn lint_source(path: &str, src: &str) -> (Vec<Finding>, usize) {
+    let tokens = lexer::lex(src);
+    let (pragmas, bad_pragmas) = pragma::collect(&tokens);
+    let mut findings = rules::check(path, src, &tokens);
+
+    let mut suppressed = 0usize;
+    findings.retain(|f| {
+        let covered = pragmas
+            .iter()
+            .any(|p| p.rule == f.rule && (p.line == f.line || p.line + 1 == f.line));
+        if covered {
+            suppressed += 1;
+        }
+        !covered
+    });
+
+    for bad in bad_pragmas {
+        findings.push(Finding {
+            rule: "L001",
+            path: path.to_string(),
+            line: bad.line,
+            column: 1,
+            message: bad.problem,
+        });
+    }
+    findings.sort_by(|a, b| (a.line, a.column, a.rule).cmp(&(b.line, b.column, b.rule)));
+    (findings, suppressed)
+}
+
+/// Lints every `.rs` file under the [`SCAN_ROOTS`] of `root`.  Returns the
+/// findings (sorted by path, then position) and scan counters.
+pub fn lint_workspace(root: &Path) -> std::io::Result<(Vec<Finding>, Summary)> {
+    let mut files = Vec::new();
+    for dir in SCAN_ROOTS {
+        let dir = root.join(dir);
+        if dir.is_dir() {
+            collect_rs_files(&dir, &mut files)?;
+        } else if dir.is_file() {
+            files.push(dir);
+        }
+    }
+    files.sort();
+    let mut findings = Vec::new();
+    let mut summary = Summary::default();
+    for file in files {
+        let rel = relative_path(root, &file);
+        let src = std::fs::read_to_string(&file)?;
+        let (mut file_findings, suppressed) = lint_source(&rel, &src);
+        summary.files_scanned += 1;
+        summary.suppressed += suppressed;
+        findings.append(&mut file_findings);
+    }
+    findings.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.column, a.rule).cmp(&(
+            b.path.as_str(),
+            b.line,
+            b.column,
+            b.rule,
+        ))
+    });
+    Ok((findings, summary))
+}
+
+/// Recursively gathers `.rs` files, skipping build output.
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        if path.is_dir() {
+            if name != "target" {
+                collect_rs_files(&path, out)?;
+            }
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Workspace-relative path with forward slashes (for stable reports across
+/// platforms).
+fn relative_path(root: &Path, file: &Path) -> String {
+    let rel = file.strip_prefix(root).unwrap_or(file);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Ascends from `start` to the first directory whose `Cargo.toml` declares a
+/// `[workspace]` — how `--workspace` finds the tree to lint.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = std::fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(dir);
+                }
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

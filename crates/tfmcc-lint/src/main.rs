@@ -1,0 +1,121 @@
+//! CLI for the workspace determinism linter.
+//!
+//! ```text
+//! cargo run -p tfmcc-lint -- --workspace [--json <path>]
+//! cargo run -p tfmcc-lint -- <file.rs> [<file.rs> ...] [--json <path>]
+//! ```
+//!
+//! Exits 0 when the tree is clean (suppressions with reasons are clean by
+//! definition), 1 on any unsuppressed finding, 2 on usage errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use tfmcc_lint::report::{self, Summary};
+use tfmcc_lint::rules::Finding;
+use tfmcc_lint::{find_workspace_root, lint_source, lint_workspace};
+
+fn main() -> ExitCode {
+    let mut workspace = false;
+    let mut json_out: Option<PathBuf> = None;
+    let mut paths: Vec<PathBuf> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workspace" => workspace = true,
+            "--json" => match args.next() {
+                Some(p) => json_out = Some(PathBuf::from(p)),
+                None => return usage("--json requires a path"),
+            },
+            "--help" | "-h" => {
+                eprintln!("usage: tfmcc-lint (--workspace | <file.rs>...) [--json <path>]");
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                return usage(&format!("unknown flag `{other}`"));
+            }
+            other => paths.push(PathBuf::from(other)),
+        }
+    }
+    if !workspace && paths.is_empty() {
+        return usage("pass --workspace or at least one file");
+    }
+    if workspace && !paths.is_empty() {
+        return usage("--workspace and explicit files are mutually exclusive");
+    }
+
+    let (findings, summary) = if workspace {
+        let cwd = std::env::current_dir().expect("cwd");
+        let Some(root) = find_workspace_root(&cwd) else {
+            eprintln!(
+                "tfmcc-lint: no workspace root found above {}",
+                cwd.display()
+            );
+            return ExitCode::from(2);
+        };
+        match lint_workspace(&root) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("tfmcc-lint: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        let mut findings: Vec<Finding> = Vec::new();
+        let mut summary = Summary::default();
+        for path in &paths {
+            let src = match std::fs::read_to_string(path) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("tfmcc-lint: {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+            };
+            let rel = path.to_string_lossy().replace('\\', "/");
+            let (mut f, suppressed) = lint_source(&rel, &src);
+            summary.files_scanned += 1;
+            summary.suppressed += suppressed;
+            findings.append(&mut f);
+        }
+        (findings, summary)
+    };
+
+    for f in &findings {
+        eprintln!(
+            "{}:{}:{}: {} {}",
+            f.path, f.line, f.column, f.rule, f.message
+        );
+    }
+    eprintln!(
+        "tfmcc-lint: {} file(s) scanned, {} finding(s), {} suppressed",
+        summary.files_scanned,
+        findings.len(),
+        summary.suppressed
+    );
+
+    if let Some(out) = json_out {
+        let json = report::to_json(&findings, summary);
+        if let Some(parent) = out.parent() {
+            if !parent.as_os_str().is_empty() {
+                let _ = std::fs::create_dir_all(parent);
+            }
+        }
+        if let Err(e) = std::fs::write(&out, json) {
+            eprintln!("tfmcc-lint: writing {}: {e}", out.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("tfmcc-lint: {msg}");
+    eprintln!("usage: tfmcc-lint (--workspace | <file.rs>...) [--json <path>]");
+    ExitCode::from(2)
+}

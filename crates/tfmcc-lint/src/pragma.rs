@@ -1,0 +1,212 @@
+//! Suppression pragmas: `// tfmcc-lint: allow(<RULE>, reason = "...")`.
+//!
+//! A pragma suppresses findings of the named rule **on its own line and on
+//! the line immediately below it** — tight scope by design, so a suppression
+//! can never silently cover code added later.  The `reason` is mandatory: a
+//! pragma without one (or with an empty one) does not suppress anything and
+//! is itself reported as rule `L001`, as is a pragma naming an unknown rule
+//! or one the parser cannot make sense of.  This is what makes the
+//! acceptance gate "zero reason-less suppressions" mechanical.
+
+use crate::lexer::{Token, TokenKind};
+use crate::rules::RULE_IDS;
+
+/// The marker every pragma comment carries.
+pub const MARKER: &str = "tfmcc-lint:";
+
+/// One parsed suppression pragma.
+#[derive(Debug, Clone)]
+pub struct Pragma {
+    /// Rule id being allowed (e.g. `D001`).
+    pub rule: String,
+    /// The mandatory justification.
+    pub reason: String,
+    /// 1-based line the pragma comment starts on.
+    pub line: usize,
+}
+
+/// A pragma that exists but cannot be honoured (reported as `L001`).
+#[derive(Debug, Clone)]
+pub struct BadPragma {
+    /// 1-based line of the offending comment.
+    pub line: usize,
+    /// Why the pragma is rejected.
+    pub problem: String,
+}
+
+/// Extracts all pragmas (valid and invalid) from a token stream's comments.
+/// Doc comments (`///`, `//!`, `/**`, `/*!`) are prose, not pragma carriers,
+/// so a rendered example of the pragma syntax never parses as one.
+pub fn collect(tokens: &[Token]) -> (Vec<Pragma>, Vec<BadPragma>) {
+    let mut good = Vec::new();
+    let mut bad = Vec::new();
+    for token in tokens {
+        if !matches!(token.kind, TokenKind::LineComment | TokenKind::BlockComment) {
+            continue;
+        }
+        if is_doc_comment(&token.text) {
+            continue;
+        }
+        let Some(at) = token.text.find(MARKER) else {
+            continue;
+        };
+        let rest = token.text[at + MARKER.len()..].trim();
+        match parse_allow(rest) {
+            Ok((rule, reason)) => {
+                if !RULE_IDS.contains(&rule.as_str()) {
+                    bad.push(BadPragma {
+                        line: token.line,
+                        problem: format!("unknown rule `{rule}` in suppression pragma"),
+                    });
+                } else if reason.trim().is_empty() {
+                    bad.push(BadPragma {
+                        line: token.line,
+                        problem: format!(
+                            "suppression of `{rule}` carries an empty reason; say why the \
+                             finding is safe"
+                        ),
+                    });
+                } else {
+                    good.push(Pragma {
+                        rule,
+                        reason,
+                        line: token.line,
+                    });
+                }
+            }
+            Err(problem) => bad.push(BadPragma {
+                line: token.line,
+                problem,
+            }),
+        }
+    }
+    (good, bad)
+}
+
+/// True for `///`, `//!`, `/**` and `/*!` comments (but not the plain `//`
+/// and `/* */` forms, and not the `////`/`/***` separators rustdoc ignores).
+fn is_doc_comment(text: &str) -> bool {
+    let line_doc =
+        (text.starts_with("///") && !text.starts_with("////")) || text.starts_with("//!");
+    let block_doc =
+        (text.starts_with("/**") && !text.starts_with("/***")) || text.starts_with("/*!");
+    line_doc || block_doc
+}
+
+/// Parses `allow(<RULE>, reason = "...")`, returning `(rule, reason)`.
+fn parse_allow(text: &str) -> Result<(String, String), String> {
+    let text = text.trim();
+    let Some(args) = text.strip_prefix("allow") else {
+        return Err(format!(
+            "expected `allow(<RULE>, reason = \"...\")` after `{MARKER}`, found `{text}`"
+        ));
+    };
+    let args = args.trim_start();
+    let Some(args) = args.strip_prefix('(') else {
+        return Err("expected `(` after `allow`".to_string());
+    };
+    let Some(close) = args.rfind(')') else {
+        return Err("unterminated `allow(...)` pragma".to_string());
+    };
+    let args = &args[..close];
+    let (rule, rest) = match args.split_once(',') {
+        Some((rule, rest)) => (rule.trim(), rest.trim()),
+        None => {
+            let rule = args.trim();
+            return Err(format!(
+                "suppression of `{rule}` has no reason; write \
+                 `allow({rule}, reason = \"...\")`"
+            ));
+        }
+    };
+    if rule.is_empty() {
+        return Err("empty rule id in suppression pragma".to_string());
+    }
+    let Some(value) = rest.strip_prefix("reason") else {
+        return Err(format!(
+            "expected `reason = \"...\"` in suppression of `{rule}`, found `{rest}`"
+        ));
+    };
+    let value = value.trim_start();
+    let Some(value) = value.strip_prefix('=') else {
+        return Err(format!(
+            "expected `=` after `reason` in suppression of `{rule}`"
+        ));
+    };
+    let value = value.trim();
+    let reason = value
+        .strip_prefix('"')
+        .and_then(|v| v.strip_suffix('"'))
+        .ok_or_else(|| format!("the reason in suppression of `{rule}` must be a quoted string"))?;
+    Ok((rule.to_string(), reason.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn well_formed_pragma_parses() {
+        let toks = lex("// tfmcc-lint: allow(D001, reason = \"lookup only, never iterated\")\n");
+        let (good, bad) = collect(&toks);
+        assert!(bad.is_empty(), "{bad:?}");
+        assert_eq!(good.len(), 1);
+        assert_eq!(good[0].rule, "D001");
+        assert_eq!(good[0].reason, "lookup only, never iterated");
+        assert_eq!(good[0].line, 1);
+    }
+
+    #[test]
+    fn missing_reason_is_rejected() {
+        let toks = lex("// tfmcc-lint: allow(D001)\n");
+        let (good, bad) = collect(&toks);
+        assert!(good.is_empty());
+        assert_eq!(bad.len(), 1);
+        assert!(bad[0].problem.contains("no reason"), "{:?}", bad[0]);
+    }
+
+    #[test]
+    fn empty_reason_is_rejected() {
+        let toks = lex("// tfmcc-lint: allow(D002, reason = \"  \")\n");
+        let (good, bad) = collect(&toks);
+        assert!(good.is_empty());
+        assert_eq!(bad.len(), 1);
+        assert!(bad[0].problem.contains("empty reason"), "{:?}", bad[0]);
+    }
+
+    #[test]
+    fn unknown_rule_is_rejected() {
+        let toks = lex("// tfmcc-lint: allow(D999, reason = \"nope\")\n");
+        let (_, bad) = collect(&toks);
+        assert_eq!(bad.len(), 1);
+        assert!(bad[0].problem.contains("unknown rule"), "{:?}", bad[0]);
+    }
+
+    #[test]
+    fn garbled_pragma_is_rejected_not_ignored() {
+        let toks = lex("// tfmcc-lint: alow(D001, reason = \"typo in allow\")\n");
+        let (good, bad) = collect(&toks);
+        assert!(good.is_empty());
+        assert_eq!(bad.len(), 1);
+    }
+
+    #[test]
+    fn doc_comments_never_carry_pragmas() {
+        let toks = lex(
+            "//! Syntax: `// tfmcc-lint: allow(<RULE>, reason = \"...\")`.\n\
+             /// Same in item docs: tfmcc-lint: allow(D001, reason = \"x\").\n",
+        );
+        let (good, bad) = collect(&toks);
+        assert!(good.is_empty(), "{good:?}");
+        assert!(bad.is_empty(), "{bad:?}");
+    }
+
+    #[test]
+    fn ordinary_comments_are_ignored() {
+        let toks = lex("// a comment mentioning allow(D001) but no marker\n");
+        let (good, bad) = collect(&toks);
+        assert!(good.is_empty());
+        assert!(bad.is_empty());
+    }
+}

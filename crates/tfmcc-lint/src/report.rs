@@ -1,0 +1,102 @@
+//! Machine-readable JSON report, hand-rolled (the linter is std-only) and
+//! deterministic: findings are emitted in `(path, line, column, rule)` order
+//! so two runs over the same tree produce byte-identical reports — the
+//! linter holds itself to the contract it enforces.
+
+use crate::rules::Finding;
+
+/// Scan-wide counters reported alongside the findings.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Summary {
+    /// `.rs` files lexed and checked.
+    pub files_scanned: usize,
+    /// Findings suppressed by a well-formed, reasoned pragma.
+    pub suppressed: usize,
+}
+
+/// Renders the report as a JSON document.
+pub fn to_json(findings: &[Finding], summary: Summary) -> String {
+    let mut out = String::with_capacity(1024);
+    out.push_str("{\n  \"tool\": \"tfmcc-lint\",\n  \"version\": 1,\n");
+    out.push_str(&format!(
+        "  \"files_scanned\": {},\n  \"suppressed\": {},\n  \"finding_count\": {},\n",
+        summary.files_scanned,
+        summary.suppressed,
+        findings.len()
+    ));
+    out.push_str("  \"findings\": [");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {");
+        out.push_str(&format!(
+            "\"rule\": {}, \"path\": {}, \"line\": {}, \"column\": {}, \"message\": {}",
+            escape(f.rule),
+            escape(&f.path),
+            f.line,
+            f.column,
+            escape(&f.message)
+        ));
+        out.push('}');
+    }
+    if !findings.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+/// JSON string escaping (quotes, backslashes, control characters).
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_is_valid_shape_and_escaped() {
+        let findings = vec![Finding {
+            rule: "D001",
+            path: "crates/netsim/src/sim.rs".to_string(),
+            line: 3,
+            column: 7,
+            message: "a \"quoted\" message\nwith a newline".to_string(),
+        }];
+        let json = to_json(
+            &findings,
+            Summary {
+                files_scanned: 12,
+                suppressed: 1,
+            },
+        );
+        assert!(json.contains("\"files_scanned\": 12"));
+        assert!(json.contains("\"suppressed\": 1"));
+        assert!(json.contains("\"finding_count\": 1"));
+        assert!(json.contains("\\\"quoted\\\""));
+        assert!(json.contains("\\n"));
+        assert!(!json.contains('\u{0}'));
+    }
+
+    #[test]
+    fn empty_report_has_empty_array() {
+        let json = to_json(&[], Summary::default());
+        assert!(json.contains("\"findings\": []"));
+    }
+}

@@ -1,0 +1,31 @@
+//! Workspace self-check: the repository this linter ships in must itself
+//! lint clean.  Runs as part of `cargo test -q`, so a determinism regression
+//! (a new `HashMap` in a sim-visible crate, a wall-clock read in protocol
+//! code, a reason-less suppression) fails the plain test suite even before
+//! the dedicated CI leg runs.
+
+use std::path::Path;
+
+use tfmcc_lint::{find_workspace_root, lint_workspace};
+
+#[test]
+fn workspace_lints_clean() {
+    let manifest_dir = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let root = find_workspace_root(manifest_dir).expect("workspace root above crates/tfmcc-lint");
+    let (findings, summary) = lint_workspace(&root).expect("scan workspace");
+    assert!(
+        summary.files_scanned > 20,
+        "suspiciously few files scanned ({}) — scan roots moved?",
+        summary.files_scanned
+    );
+    if !findings.is_empty() {
+        let mut msg = String::from("workspace has unsuppressed determinism findings:\n");
+        for f in &findings {
+            msg.push_str(&format!(
+                "  {}:{}:{}: {} {}\n",
+                f.path, f.line, f.column, f.rule, f.message
+            ));
+        }
+        panic!("{msg}");
+    }
+}

@@ -34,6 +34,8 @@
 //! [`SenderStep`]: tfmcc_proto::step::SenderStep
 //! [`ReceiverStep`]: tfmcc_proto::step::ReceiverStep
 
+// Enforced by tfmcc-lint rule U001: pure math/protocol logic, no unsafe.
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -21,6 +21,8 @@
 //! All rates are in bytes per second, all times in seconds and all packet
 //! sizes in bytes unless a function documents otherwise.
 
+// Enforced by tfmcc-lint rule U001: pure math/protocol logic, no unsafe.
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

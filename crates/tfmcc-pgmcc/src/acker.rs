@@ -1,7 +1,7 @@
 //! Acker election: track per-receiver conditions and pick the one a TCP flow
 //! would serve most slowly.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use tfmcc_model::throughput::mathis_throughput;
 
@@ -25,7 +25,7 @@ pub struct ReceiverConditions {
 pub struct AckerTracker {
     packet_size: f64,
     hysteresis: f64,
-    receivers: HashMap<u64, ReceiverConditions>,
+    receivers: BTreeMap<u64, ReceiverConditions>,
     acker: Option<u64>,
 }
 
@@ -38,7 +38,7 @@ impl AckerTracker {
         AckerTracker {
             packet_size,
             hysteresis,
-            receivers: HashMap::new(),
+            receivers: BTreeMap::new(),
             acker: None,
         }
     }
@@ -100,6 +100,9 @@ impl AckerTracker {
         self.receivers.retain(|_, c| c.last_heard >= deadline);
         match self.acker {
             Some(id) if !self.receivers.contains_key(&id) => {
+                // The map iterates in ascending id order and `min_by` keeps
+                // the first of equally-minimal elements, so a modelled-rate
+                // tie always elects the lowest id — replay-stable.
                 self.acker = self
                     .receivers
                     .iter()

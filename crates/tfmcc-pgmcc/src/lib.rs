@@ -15,6 +15,8 @@
 //! fairness against TFMCC (the sawtooth versus equation-driven rate), not a
 //! full PGM transport.
 
+// Enforced by tfmcc-lint rule U001: pure math/protocol logic, no unsafe.
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

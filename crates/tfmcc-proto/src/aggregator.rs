@@ -35,7 +35,7 @@
 //! [`TfmccSender::on_tick`]: crate::sender::TfmccSender::on_tick
 //! [`TfmccSender::with_aggregator`]: crate::sender::TfmccSender::with_aggregator
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 use std::hash::Hasher;
 
 use crate::packets::{ReceiverId, SuppressionEcho};
@@ -157,7 +157,7 @@ fn offer_round_min(slot: &mut Option<SuppressionEcho>, id: ReceiverId, echo_rate
 /// recomputed by a full pass when queried.
 #[derive(Debug, Clone, Default)]
 pub struct ReferenceAggregator {
-    receivers: HashMap<ReceiverId, ReceiverInfo>,
+    receivers: BTreeMap<ReceiverId, ReceiverInfo>,
     round_min: Option<SuppressionEcho>,
 }
 
@@ -267,7 +267,7 @@ fn f64_key(v: f64) -> u64 {
 /// instead of O(N) scans.  Each report costs two O(log N) index updates.
 #[derive(Debug, Clone, Default)]
 pub struct IncrementalAggregator {
-    receivers: HashMap<ReceiverId, ReceiverInfo>,
+    receivers: BTreeMap<ReceiverId, ReceiverInfo>,
     /// `(f64_key(rtt), id)` for every receiver with a known RTT.
     rtt_index: BTreeSet<(u64, ReceiverId)>,
     /// `(f64_key(rate), id)` for every receiver with a finite rate.
@@ -401,20 +401,19 @@ impl StateFingerprint for ReceiverInfo {
 }
 
 /// Hashes the bookkeeping shared by both implementations in a canonical
-/// (id-sorted) order.  The incremental path's indexes and counters are pure
-/// functions of this map, so they need no hashing of their own — and the
-/// two implementations fingerprint identically for identical contents.
+/// (id-sorted) order — the map is ordered, so plain iteration is canonical.
+/// The incremental path's indexes and counters are pure functions of this
+/// map, so they need no hashing of their own — and the two implementations
+/// fingerprint identically for identical contents.
 fn fingerprint_bookkeeping<H: Hasher>(
     h: &mut H,
-    receivers: &HashMap<ReceiverId, ReceiverInfo>,
+    receivers: &BTreeMap<ReceiverId, ReceiverInfo>,
     round_min: Option<SuppressionEcho>,
 ) {
-    let mut ids: Vec<ReceiverId> = receivers.keys().copied().collect();
-    ids.sort_unstable();
-    h.write_usize(ids.len());
-    for id in ids {
+    h.write_usize(receivers.len());
+    for (id, info) in receivers {
         h.write_u64(id.0);
-        receivers[&id].fingerprint(h);
+        info.fingerprint(h);
     }
     match round_min {
         Some(echo) => {

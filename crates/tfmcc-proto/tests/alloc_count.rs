@@ -23,18 +23,28 @@ struct CountingAllocator;
 
 static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
 
+// SAFETY: every method forwards to `System` with unchanged arguments; the
+// added Relaxed counter update cannot affect the allocator contract.
 unsafe impl GlobalAlloc for CountingAllocator {
+    // SAFETY: forwarded verbatim to `System`; the caller's `GlobalAlloc`
+    // obligations are passed through unchanged.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Relaxed);
         System.alloc(layout)
     }
+    // SAFETY: forwarded verbatim to `System`; the caller's `GlobalAlloc`
+    // obligations are passed through unchanged.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         System.dealloc(ptr, layout)
     }
+    // SAFETY: forwarded verbatim to `System`; the caller's `GlobalAlloc`
+    // obligations are passed through unchanged.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Relaxed);
         System.realloc(ptr, layout, new_size)
     }
+    // SAFETY: forwarded verbatim to `System`; the caller's `GlobalAlloc`
+    // obligations are passed through unchanged.
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Relaxed);
         System.alloc_zeroed(layout)

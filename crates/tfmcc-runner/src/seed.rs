@@ -25,11 +25,11 @@ pub fn derive_seed(base: u64, index: u64) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::collections::HashSet;
+    use std::collections::BTreeSet;
 
     #[test]
     fn seeds_are_distinct_within_a_sweep() {
-        let mut seen = HashSet::new();
+        let mut seen = BTreeSet::new();
         for index in 0..10_000u64 {
             assert!(
                 seen.insert(derive_seed(7, index)),

@@ -12,6 +12,8 @@
 //! (retransmissions occupy window space and consume bandwidth); the payload
 //! bytes themselves are not reassembled.
 
+// Enforced by tfmcc-lint rule U001: pure math/protocol logic, no unsafe.
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

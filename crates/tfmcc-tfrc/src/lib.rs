@@ -15,6 +15,8 @@
 //! baseline measured in the experiments runs exactly the code the multicast
 //! protocol runs.
 
+// Enforced by tfmcc-lint rule U001: pure math/protocol logic, no unsafe.
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

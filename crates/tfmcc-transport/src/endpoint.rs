@@ -59,6 +59,7 @@ impl UdpSenderEndpoint {
         let (stop, stop_rx) = bounded::<()>(1);
         let handle = std::thread::spawn(move || {
             let mut sender = TfmccSender::new(config);
+            // tfmcc-lint: allow(D002, reason = "real-time UDP transport thread: the wall clock IS the protocol clock here, and nothing derived from it enters a simulation")
             let epoch = Instant::now();
             let mut next_send = 0.0_f64;
             let mut buf = [0u8; 2048];
@@ -168,6 +169,7 @@ impl UdpReceiverEndpoint {
         let (stop, stop_rx) = bounded::<()>(1);
         let handle = std::thread::spawn(move || {
             let mut receiver = TfmccReceiver::new(id, config);
+            // tfmcc-lint: allow(D002, reason = "real-time UDP transport thread: the wall clock IS the protocol clock here, and nothing derived from it enters a simulation")
             let epoch = Instant::now();
             let mut buf = [0u8; 2048];
             loop {

@@ -56,19 +56,29 @@ struct NetCountingAllocator;
 
 static NET_BYTES: AtomicI64 = AtomicI64::new(0);
 
+// SAFETY: every method forwards to `System` with unchanged arguments; the
+// added Relaxed counter update cannot affect the allocator contract.
 unsafe impl GlobalAlloc for NetCountingAllocator {
+    // SAFETY: forwarded verbatim to `System`; the caller's `GlobalAlloc`
+    // obligations are passed through unchanged.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         NET_BYTES.fetch_add(layout.size() as i64, Relaxed);
         System.alloc(layout)
     }
+    // SAFETY: forwarded verbatim to `System`; the caller's `GlobalAlloc`
+    // obligations are passed through unchanged.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         NET_BYTES.fetch_sub(layout.size() as i64, Relaxed);
         System.dealloc(ptr, layout)
     }
+    // SAFETY: forwarded verbatim to `System`; the caller's `GlobalAlloc`
+    // obligations are passed through unchanged.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         NET_BYTES.fetch_add(new_size as i64 - layout.size() as i64, Relaxed);
         System.realloc(ptr, layout, new_size)
     }
+    // SAFETY: forwarded verbatim to `System`; the caller's `GlobalAlloc`
+    // obligations are passed through unchanged.
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
         NET_BYTES.fetch_add(layout.size() as i64, Relaxed);
         System.alloc_zeroed(layout)

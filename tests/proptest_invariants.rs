@@ -1,6 +1,6 @@
 //! Cross-crate property-based tests on core protocol invariants.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use proptest::prelude::*;
@@ -115,9 +115,9 @@ proptest! {
             mgr.add_population_session(&mut sim, &spec, a, &[PopulationSpec::packet(b)]);
         }
         prop_assert_eq!(mgr.len(), explicit.len());
-        let mut groups = HashSet::new();
-        let mut flows = HashSet::new();
-        let mut ports = HashSet::new();
+        let mut groups = BTreeSet::new();
+        let mut flows = BTreeSet::new();
+        let mut ports = BTreeSet::new();
         for s in mgr.sessions() {
             prop_assert_eq!(mgr.session(s.id).group, s.group, "handle lookup is stable");
             prop_assert!(groups.insert(s.group.0), "group {} allocated twice", s.group.0);
