@@ -57,7 +57,8 @@ impl LossModel {
 pub struct LinkStats {
     /// Packets accepted into the queue.
     pub enqueued: u64,
-    /// Packets dropped because the queue was full (or RED early drop).
+    /// Packets dropped by the queue discipline: full queue, RED early drop,
+    /// or CoDel sojourn-time drop at dequeue.
     pub dropped_queue: u64,
     /// Packets dropped by the random loss model.
     pub dropped_loss: u64,
@@ -240,9 +241,10 @@ impl Link {
     /// the next `TxComplete` event to schedule, if the link stays busy.
     ///
     /// Draining the queue in one event (instead of one event per packet) is
-    /// what keeps the event count per congested-link packet at one; RED
-    /// links keep the per-packet path because their average-queue estimator
-    /// depends on the actual dequeue times.
+    /// what keeps the event count per congested-link packet at one; RED and
+    /// CoDel links keep the per-packet path because RED's average-queue
+    /// estimator and CoDel's sojourn clock depend on the actual dequeue
+    /// times.
     pub fn tx_complete(
         &mut self,
         now: SimTime,
@@ -282,7 +284,11 @@ impl Link {
                 None
             }
         } else {
-            self.queue.dequeue(now).map(|p| {
+            // Per-packet path (RED, CoDel): CoDel may drop packets at
+            // dequeue based on their sojourn time.
+            let (pkt, dropped) = self.queue.dequeue_tx(now);
+            self.stats.dropped_queue += dropped;
+            pkt.map(|p| {
                 let t = now + self.tx_time(p.size);
                 self.in_flight = Some(p);
                 t
@@ -424,6 +430,52 @@ mod tests {
         let next = l.tx_complete(SimTime::from_secs(1.5), &mut out);
         assert_eq!(next.unwrap().as_secs(), 2.0);
         assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn codel_links_drop_at_dequeue_and_count_it() {
+        // 100 B/s: each 100 B packet takes 1 s to serialize, so queued
+        // packets accumulate multi-second sojourn times — far above the 5 ms
+        // target — and CoDel starts dropping at dequeue after its 100 ms
+        // interval expires.
+        let mut l = Link::new(
+            LinkId(0),
+            NodeId(0),
+            NodeId(1),
+            100.0,
+            0.001,
+            QueueDiscipline::codel(50),
+            1,
+        );
+        let mut next_tx = None;
+        for i in 0..40 {
+            let t = SimTime::from_secs(i as f64 * 0.5);
+            let mut out = Vec::new();
+            while let Some(due) = next_tx.filter(|&d| d <= t) {
+                next_tx = l.tx_complete(due, &mut out);
+            }
+            if let LinkAccept::Accepted {
+                tx_complete_at: Some(done),
+            } = l.offer_sampled(pkt(100), t, 0.9, 0.9)
+            {
+                next_tx = Some(done);
+            }
+        }
+        assert!(
+            l.stats.dropped_queue > 0,
+            "CoDel must have dropped packets at dequeue: {:?}",
+            l.stats
+        );
+        assert!(l.stats.delivered > 0);
+        // Conservation: every enqueued packet is eventually delivered,
+        // dropped at dequeue, or still queued/in flight.
+        assert_eq!(
+            l.stats.enqueued,
+            l.stats.delivered
+                + l.stats.dropped_queue
+                + l.queue_len() as u64
+                + u64::from(l.is_busy()),
+        );
     }
 
     #[test]

@@ -381,7 +381,15 @@ impl World {
     fn handle_link_tx_complete(&mut self, link_id: LinkId) {
         let now = self.now;
         let mut out = std::mem::take(&mut self.tx_scratch);
+        let dropped_before = self.links[link_id.0].stats.dropped_queue;
         let next = self.links[link_id.0].tx_complete(now, &mut out);
+        // CoDel drops packets at dequeue time; fold those into the same
+        // world-level counter that ingress drops (loss model, full queue,
+        // RED early detection) feed.
+        let dequeue_drops = self.links[link_id.0].stats.dropped_queue - dropped_before;
+        if dequeue_drops > 0 {
+            self.stats.add("drops.link", dequeue_drops as f64);
+        }
         let delay = self.links[link_id.0].delay;
         let to = self.links[link_id.0].to;
         // On drop-tail links the whole queue drains as one burst: every
@@ -687,6 +695,11 @@ impl Simulator {
     /// Per-link statistics.
     pub fn link_stats(&self, link: LinkId) -> LinkStats {
         self.world.links[link.0].stats
+    }
+
+    /// Read-only access to a link (bandwidth, delay, loss model, counters).
+    pub fn link(&self, link: LinkId) -> &Link {
+        &self.world.links[link.0]
     }
 
     /// Current queue length of a link.
@@ -1246,6 +1259,119 @@ mod tests {
             plain, with_extra,
             "adding unrelated links/agents must not perturb a link's loss pattern"
         );
+    }
+
+    /// Runs a congested RED-bottleneck workload and returns the sink's
+    /// delivery log plus the bottleneck's counters.  With `extra_gear`, an
+    /// unrelated link and a chatty agent are added — the per-link RNG
+    /// streams (`rng::stream_seed`) mean the RED drop sequence must not
+    /// shift, exactly like the Bernoulli loss-stream regression above.
+    fn red_delivery_log(extra_gear: bool) -> (Vec<(f64, u32)>, LinkStats) {
+        let mut sim = Simulator::new(78);
+        let a = sim.add_node("a");
+        let b = sim.add_node("b");
+        // A tight gentle-RED queue on a slow link: the blaster overruns it,
+        // so RED's probabilistic early drops are exercised for real.
+        let (ab, _) = sim.add_duplex_link(a, b, 2e5, 0.002, QueueDiscipline::red_gentle(12));
+        if extra_gear {
+            let c = sim.add_node("c");
+            sim.add_duplex_link(a, c, 1e6, 0.002, QueueDiscipline::red(10));
+            let c_sink = Address::new(c, Port(3));
+            sim.add_agent(
+                c,
+                Port(3),
+                Box::new(Blaster::new(Dest::Unicast(c_sink), 1, 0, 1.0)),
+            );
+            sim.add_agent(
+                a,
+                Port(3),
+                Box::new(Blaster::new(Dest::Unicast(c_sink), 200, 50, 0.013)),
+            );
+        }
+        let sink_addr = Address::new(b, Port(1));
+        let sink = sim.add_agent(
+            b,
+            Port(1),
+            Box::new(Blaster::new(
+                Dest::Unicast(Address::new(a, Port(9))),
+                100,
+                0,
+                1.0,
+            )),
+        );
+        let _src = sim.add_agent(
+            a,
+            Port(1),
+            Box::new(Blaster::new(Dest::Unicast(sink_addr), 1000, 800, 0.002)),
+        );
+        sim.run_until(SimTime::from_secs(5.0));
+        let log = sim.agent::<Blaster>(sink).unwrap().received.clone();
+        (log, sim.link_stats(ab))
+    }
+
+    /// RED draws come from the link's private stream: adding unrelated
+    /// links and agents must leave the drop sequence byte-identical.
+    #[test]
+    fn red_drop_pattern_is_independent_of_unrelated_traffic() {
+        let (plain_log, plain_stats) = red_delivery_log(false);
+        let (extra_log, extra_stats) = red_delivery_log(true);
+        assert!(
+            plain_stats.dropped_queue > 0,
+            "the workload must overrun the RED queue: {plain_stats:?}"
+        );
+        assert_eq!(
+            plain_log, extra_log,
+            "adding unrelated links/agents must not perturb a RED link's drop pattern"
+        );
+        assert_eq!(plain_stats, extra_stats);
+    }
+
+    /// The heap and calendar schedulers must produce byte-identical RED and
+    /// CoDel drop sequences — the scheduler-equivalence contract extended to
+    /// the AQM disciplines.
+    #[test]
+    fn aqm_drop_sequences_are_scheduler_invariant() {
+        let run = |kind: SchedulerKind, discipline: QueueDiscipline| {
+            let mut sim = Simulator::with_scheduler(7, kind);
+            let a = sim.add_node("a");
+            let b = sim.add_node("b");
+            let (ab, _) = sim.add_duplex_link(a, b, 1e5, 0.003, discipline);
+            let sink_addr = Address::new(b, Port(1));
+            let sink = sim.add_agent(
+                b,
+                Port(1),
+                Box::new(Blaster::new(
+                    Dest::Unicast(Address::new(a, Port(9))),
+                    100,
+                    0,
+                    1.0,
+                )),
+            );
+            let _src = sim.add_agent(
+                a,
+                Port(1),
+                Box::new(Blaster::new(Dest::Unicast(sink_addr), 900, 400, 0.004)),
+            );
+            sim.run_until(SimTime::from_secs(8.0));
+            let log = sim.agent::<Blaster>(sink).unwrap().received.clone();
+            (log, sim.link_stats(ab), sim.events_processed())
+        };
+        for discipline in [
+            QueueDiscipline::red(8),
+            QueueDiscipline::red_gentle(8),
+            QueueDiscipline::codel(8),
+        ] {
+            let heap = run(SchedulerKind::Heap, discipline.clone());
+            let calendar = run(SchedulerKind::Calendar, discipline.clone());
+            assert!(
+                heap.1.dropped_queue > 0,
+                "{discipline:?}: the workload must make the discipline drop"
+            );
+            assert_eq!(
+                heap, calendar,
+                "schedulers diverged on a {discipline:?} bottleneck"
+            );
+        }
     }
 
     #[test]

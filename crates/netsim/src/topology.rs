@@ -124,6 +124,13 @@ pub struct StarLeg {
     pub upstream_loss: LossModel,
     /// Queue discipline of the leg (both directions).
     pub queue: QueueDiscipline,
+    /// Upstream bandwidth override in bytes/second; `None` keeps the leg
+    /// symmetric.  Models asymmetric feedback paths (paper Appendix D):
+    /// receiver reports ride a much slower return circuit than the data.
+    pub upstream_bandwidth: Option<f64>,
+    /// Upstream one-way delay override in seconds; `None` keeps the leg
+    /// symmetric.
+    pub upstream_delay: Option<f64>,
 }
 
 impl StarLeg {
@@ -135,6 +142,8 @@ impl StarLeg {
             downstream_loss: LossModel::None,
             upstream_loss: LossModel::None,
             queue: QueueDiscipline::drop_tail(50),
+            upstream_bandwidth: None,
+            upstream_delay: None,
         }
     }
 
@@ -153,6 +162,15 @@ impl StarLeg {
     /// Overrides the queue discipline.
     pub fn with_queue(mut self, queue: QueueDiscipline) -> Self {
         self.queue = queue;
+        self
+    }
+
+    /// Makes the leg asymmetric: the upstream (receiver→sender) direction
+    /// gets its own bandwidth and delay — the feedback-path shape of the
+    /// paper's robustness experiments.
+    pub fn with_upstream_path(mut self, bandwidth: f64, delay: f64) -> Self {
+        self.upstream_bandwidth = Some(bandwidth);
+        self.upstream_delay = Some(delay);
         self
     }
 }
@@ -213,7 +231,13 @@ pub fn star(sim: &mut Simulator, cfg: &StarConfig, legs: &[StarLeg]) -> Star {
     for (i, leg) in legs.iter().enumerate() {
         let r = sim.add_node(&format!("receiver-{i}"));
         let down = sim.add_link(hub, r, leg.bandwidth, leg.delay, leg.queue.clone());
-        let up = sim.add_link(r, hub, leg.bandwidth, leg.delay, leg.queue.clone());
+        let up = sim.add_link(
+            r,
+            hub,
+            leg.upstream_bandwidth.unwrap_or(leg.bandwidth),
+            leg.upstream_delay.unwrap_or(leg.delay),
+            leg.queue.clone(),
+        );
         sim.set_link_loss(down, leg.downstream_loss);
         sim.set_link_loss(up, leg.upstream_loss);
         receivers.push(r);
@@ -302,6 +326,19 @@ mod tests {
         assert_eq!(st.receivers.len(), 5);
         assert_eq!(st.downstream_links.len(), 5);
         assert_eq!(st.upstream_links.len(), 5);
+    }
+
+    #[test]
+    fn asymmetric_star_leg_slows_only_the_upstream() {
+        let mut sim = Simulator::new(25);
+        let legs = vec![StarLeg::clean(1_000_000.0, 0.01).with_upstream_path(10_000.0, 0.15)];
+        let st = star(&mut sim, &StarConfig::default(), &legs);
+        let down = &sim.link(st.downstream_links[0]);
+        let up = &sim.link(st.upstream_links[0]);
+        assert_eq!(down.bandwidth, 1_000_000.0);
+        assert_eq!(down.delay, 0.01);
+        assert_eq!(up.bandwidth, 10_000.0);
+        assert_eq!(up.delay, 0.15);
     }
 
     #[test]

@@ -247,10 +247,27 @@ pub fn jain_index<I: IntoIterator<Item = f64>>(rates: I) -> f64 {
     sum * sum / (n as f64 * sum_sq)
 }
 
+/// A group/port/flow assignment handed out by
+/// [`SessionManager::reserve_addressing`]: an address block a non-TFMCC
+/// (competitor) flow can use on the same simulator without colliding with
+/// any TFMCC session the manager owns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionAddressing {
+    /// Multicast group reserved for the flow (unicast flows may ignore it).
+    pub group: GroupId,
+    /// Port for the flow's data packets.
+    pub data_port: Port,
+    /// Port for the flow's feedback/report packets.
+    pub sender_port: Port,
+    /// Flow id tagging the flow's packets.
+    pub flow: FlowId,
+}
+
 /// Owns N independent TFMCC sessions sharing one simulator.
 #[derive(Debug, Clone, Default)]
 pub struct SessionManager {
     sessions: Vec<SessionHandle>,
+    reserved: Vec<SessionAddressing>,
 }
 
 impl SessionManager {
@@ -277,6 +294,57 @@ impl SessionManager {
     /// A session's handles.
     pub fn session(&self, id: SessionId) -> &SessionHandle {
         &self.sessions[id.0]
+    }
+
+    /// True if `g` is held by a session or a reservation.
+    fn group_taken(&self, g: u32) -> bool {
+        self.sessions.iter().any(|s| s.group.0 == g) || self.reserved.iter().any(|r| r.group.0 == g)
+    }
+
+    /// True if `p` is held by a session or a reservation (either role).
+    fn port_taken(&self, p: u16) -> bool {
+        self.sessions
+            .iter()
+            .any(|s| s.data_port.0 == p || s.sender_port.0 == p)
+            || self
+                .reserved
+                .iter()
+                .any(|r| r.data_port.0 == p || r.sender_port.0 == p)
+    }
+
+    /// True if `f` is held by a session or a reservation.
+    fn flow_taken(&self, f: u64) -> bool {
+        self.sessions.iter().any(|s| s.flow.0 == f) || self.reserved.iter().any(|r| r.flow.0 == f)
+    }
+
+    /// Reserves a group/port-pair/flow block for a *non-TFMCC* flow sharing
+    /// the simulator — the heterogeneous-protocol wiring the cross-protocol
+    /// fairness experiments use for PGMCC/TFRC/TCP competitors.  The block
+    /// follows the same allocation sequence as auto-addressed sessions, is
+    /// never handed out twice, and later TFMCC sessions (auto- or
+    /// explicitly addressed) are kept clear of it.
+    pub fn reserve_addressing(&mut self) -> SessionAddressing {
+        let index = self.sessions.len() + self.reserved.len();
+        let mut g = 1 + index as u32;
+        while self.group_taken(g) {
+            g += 1;
+        }
+        let mut base = 5000u16.checked_add(2 * index as u16).expect("port space");
+        while self.port_taken(base) || self.port_taken(base + 1) {
+            base = base.checked_add(2).expect("port space");
+        }
+        let mut f = 100 + index as u64;
+        while self.flow_taken(f) {
+            f += 1;
+        }
+        let addressing = SessionAddressing {
+            group: GroupId(g),
+            data_port: Port(base),
+            sender_port: Port(base + 1),
+            flow: FlowId(f),
+        };
+        self.reserved.push(addressing);
+        addressing
     }
 
     /// Adds one session specified as a plain packet-level receiver list.
@@ -341,19 +409,14 @@ impl SessionManager {
         // session already holds, so defaulted sessions can never collide.
         let group = spec.group.unwrap_or_else(|| {
             let mut g = 1 + index as u32;
-            while self.sessions.iter().any(|s| s.group.0 == g) {
+            while self.group_taken(g) {
                 g += 1;
             }
             GroupId(g)
         });
-        let port_taken = |p: u16| {
-            self.sessions
-                .iter()
-                .any(|s| s.data_port.0 == p || s.sender_port.0 == p)
-        };
         let free_port_pair = || {
             let mut base = 5000u16.checked_add(2 * index as u16).expect("port space");
-            while port_taken(base) || port_taken(base + 1) {
+            while self.port_taken(base) || self.port_taken(base + 1) {
                 base = base.checked_add(2).expect("port space");
             }
             (base, base + 1)
@@ -369,7 +432,7 @@ impl SessionManager {
         };
         let flow = spec.flow.unwrap_or_else(|| {
             let mut f = 100 + index as u64;
-            while self.sessions.iter().any(|s| s.flow.0 == f) {
+            while self.flow_taken(f) {
                 f += 1;
             }
             FlowId(f)
@@ -551,6 +614,27 @@ impl SessionManager {
                 other.id.0,
                 other.sender_port.0,
                 sender_node.0
+            );
+        }
+        for r in &self.reserved {
+            assert!(
+                r.group != group,
+                "multicast group {} is reserved for a competitor flow",
+                group.0
+            );
+            assert!(
+                r.flow != flow,
+                "flow id {} is reserved for a competitor flow",
+                flow.0
+            );
+            assert!(
+                r.data_port != data_port
+                    && r.data_port != sender_port
+                    && r.sender_port != data_port
+                    && r.sender_port != sender_port,
+                "ports {}/{} overlap an addressing block reserved for a competitor flow",
+                data_port.0,
+                sender_port.0
             );
         }
     }
@@ -819,6 +903,69 @@ mod tests {
             &mut sim,
             &clash,
             st.receivers[1],
+            &[PopulationSpec::packet(st.receivers[0])],
+        );
+    }
+
+    #[test]
+    fn reserved_addressing_is_skipped_by_auto_allocation() {
+        let mut sim = Simulator::new(7);
+        let st = star_with_legs(&mut sim, 2);
+        let mut mgr = SessionManager::new();
+        // A competitor flow reserves what would have been the first
+        // session's defaults…
+        let reserved = mgr.reserve_addressing();
+        assert_eq!(
+            reserved,
+            SessionAddressing {
+                group: GroupId(1),
+                data_port: Port(5000),
+                sender_port: Port(5001),
+                flow: FlowId(100),
+            }
+        );
+        // …so the first auto-addressed TFMCC session moves past it.
+        let id = mgr.add_population_session(
+            &mut sim,
+            &SessionSpec::default(),
+            st.sender,
+            &[PopulationSpec::packet(st.receivers[0])],
+        );
+        let s = mgr.session(id);
+        assert_eq!(
+            (s.group, s.data_port, s.sender_port, s.flow),
+            (GroupId(2), Port(5002), Port(5003), FlowId(101))
+        );
+        // A second reservation advances past both.
+        let second = mgr.reserve_addressing();
+        assert_eq!(
+            second,
+            SessionAddressing {
+                group: GroupId(3),
+                data_port: Port(5004),
+                sender_port: Port(5005),
+                flow: FlowId(102),
+            }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved for a competitor flow")]
+    fn explicit_addressing_cannot_squat_on_a_reservation() {
+        let mut sim = Simulator::new(7);
+        let st = star_with_legs(&mut sim, 1);
+        let mut mgr = SessionManager::new();
+        let reserved = mgr.reserve_addressing();
+        let clash = SessionSpec::default().with_addressing(
+            reserved.group,
+            Port(9000),
+            Port(9001),
+            FlowId(900),
+        );
+        mgr.add_population_session(
+            &mut sim,
+            &clash,
+            st.sender,
             &[PopulationSpec::packet(st.receivers[0])],
         );
     }

@@ -98,6 +98,7 @@ fn main() {
         loss_idx: 2, // 1% bottleneck loss, both directions
         delay_idx: 1,
         churn_idx: 2, // 4 s on / 4 s off
+        queue_idx: 0, // drop-tail, matching the checked-in seed replay
         seed: 7,
     };
     let duration = 15.0;

@@ -1,0 +1,15 @@
+//! Figure 24 (beyond the paper): the cross-protocol fairness matrix —
+//! TFMCC, PGMCC, TFRC and TCP in every pairing plus a four-way melee over
+//! an AQM bottleneck, and the fig19 robustness shape at 10⁵ receivers.
+//!
+//! Shared CLI: `--quick` / `--paper` select the scale (overridden by the
+//! `TFMCC_SCALE` environment variable), `--threads N` sizes the sweep
+//! executor (results are byte-identical for any N), `--queue KIND` selects
+//! the bottleneck queue discipline (`drop-tail`, `red`, `gentle-red` or
+//! `codel`; overridden by `TFMCC_QUEUE`, default gentle-red), `--out FILE`
+//! writes the figure as deterministic JSON and `--bench-out FILE` writes
+//! the run's timing trajectory.
+
+fn main() {
+    tfmcc_experiments::cli::figure_main(tfmcc_experiments::fairness_matrix::fig24_fairness_matrix);
+}

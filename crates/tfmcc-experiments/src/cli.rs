@@ -22,7 +22,11 @@
 //!   exists for performance comparisons, see `netsim::events`);
 //! * `--sessions K` pins multi-session figures (fig23) to K concurrent TFMCC
 //!   sessions, by exporting the `TFMCC_SESSIONS` environment variable the
-//!   same way (single-session figures ignore it).
+//!   same way (single-session figures ignore it);
+//! * `--queue KIND` selects the bottleneck queue discipline of figures with
+//!   a pluggable bottleneck (fig24) — `drop-tail`, `red`, `gentle-red` or
+//!   `codel` — by exporting the `TFMCC_QUEUE` environment variable the same
+//!   way (other figures ignore it).
 
 use std::time::Instant;
 
@@ -52,13 +56,15 @@ impl FigureCli {
     /// Builds the configuration from already-parsed arguments.
     ///
     /// A `--scheduler` choice is exported as the `TFMCC_SCHEDULER`
-    /// environment variable (see [`export_scheduler_env`]) and a
-    /// `--sessions` choice as `TFMCC_SESSIONS` (see [`export_sessions_env`]);
-    /// this runs before the sweep executor spawns its worker threads, so
-    /// every simulation of the run sees it.
+    /// environment variable (see [`export_scheduler_env`]), a `--sessions`
+    /// choice as `TFMCC_SESSIONS` (see [`export_sessions_env`]) and a
+    /// `--queue` choice as `TFMCC_QUEUE` (see [`export_queue_env`]); this
+    /// runs before the sweep executor spawns its worker threads, so every
+    /// simulation of the run sees it.
     pub fn from_runner_args(args: RunnerArgs) -> Self {
         export_scheduler_env(&args);
         export_sessions_env(&args);
+        export_queue_env(&args);
         FigureCli {
             scale: Scale::resolve(args.quick),
             runner: SweepRunner::new(args.effective_threads()),
@@ -85,6 +91,16 @@ pub fn export_scheduler_env(args: &RunnerArgs) {
 pub fn export_sessions_env(args: &RunnerArgs) {
     if let Some(sessions) = args.sessions {
         std::env::set_var("TFMCC_SESSIONS", sessions.to_string());
+    }
+}
+
+/// Exports a `--queue` choice as the `TFMCC_QUEUE` environment variable,
+/// which figures with a pluggable bottleneck (fig24) read to select their
+/// queue discipline.  Call before spawning any worker thread; a no-op when
+/// the flag was not given (so a pre-set variable stays in effect).
+pub fn export_queue_env(args: &RunnerArgs) {
+    if let Some(queue) = &args.queue {
+        std::env::set_var("TFMCC_QUEUE", queue);
     }
 }
 

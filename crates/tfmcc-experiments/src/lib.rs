@@ -20,6 +20,7 @@
 //! | 12, 14, 15, 16 (startup, late join)   | [`startup_figs`] |
 //! | 22 (receiver churn, beyond the paper) | [`churn_figs`] |
 //! | 23 (inter-TFMCC fairness, beyond the paper) | [`intersession_figs`] |
+//! | 24 (cross-protocol fairness matrix over AQM, beyond the paper) | [`fairness_matrix`] |
 //! | worst-case annealing search (beyond the paper) | [`scenario_search`] |
 
 #![warn(missing_docs)]
@@ -29,6 +30,7 @@ pub mod churn_figs;
 pub mod cli;
 pub mod event_bench;
 pub mod fairness_figs;
+pub mod fairness_matrix;
 pub mod fanout_bench;
 pub mod feedback_bench;
 pub mod feedback_figs;

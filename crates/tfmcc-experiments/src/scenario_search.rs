@@ -1,7 +1,7 @@
 //! Worst-case scenario search: simulated annealing over the churn / loss /
-//! RTT / session-count grids, looking for the configurations with the
-//! *worst* inter-session fairness (lowest Jain index) and the *slowest* CLR
-//! recovery after a departure.
+//! RTT / session-count / queue-discipline grids, looking for the
+//! configurations with the *worst* inter-session fairness (lowest Jain
+//! index) and the *slowest* CLR recovery after a departure.
 //!
 //! The bounded model checker (`tfmcc-mc`) proves small configurations
 //! exhaustively; this driver covers the complementary regime — full
@@ -53,6 +53,21 @@ const DELAY: &[f64] = &[0.01, 0.02, 0.05, 0.1];
 /// Churn grid: `(on_secs, off_secs)` duty cycles for the churning half of
 /// each receiver population; `None` = static membership.
 const CHURN: &[Option<(f64, f64)>] = &[None, Some((8.0, 4.0)), Some((4.0, 4.0)), Some((2.0, 2.0))];
+/// Bottleneck queue-discipline grid: classic drop-tail plus the two AQM
+/// variants from `netsim::queue`, so the search can probe whether
+/// probabilistic early drops (gentle RED) or sojourn-based drops (CoDel)
+/// open new worst cases.  Names match the `TFMCC_QUEUE` vocabulary.
+const QUEUES: &[&str] = &["drop-tail", "gentle-red", "codel"];
+
+/// Materialises a grid queue name as a bottleneck discipline (all at the
+/// same 100-packet limit the search always used for drop-tail).
+fn queue_discipline(name: &str) -> QueueDiscipline {
+    match name {
+        "gentle-red" => QueueDiscipline::red_gentle(100),
+        "codel" => QueueDiscipline::codel(100),
+        _ => QueueDiscipline::drop_tail(100),
+    }
+}
 
 /// One point of the search space: grid indices plus the simulation seed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -67,6 +82,8 @@ pub struct Scenario {
     pub delay_idx: usize,
     /// Index into the churn grid.
     pub churn_idx: usize,
+    /// Index into the queue-discipline grid.
+    pub queue_idx: usize,
     /// The simulation seed (recorded in replays).
     pub seed: u64,
 }
@@ -92,16 +109,21 @@ impl Scenario {
     pub fn churn(&self) -> Option<(f64, f64)> {
         CHURN[self.churn_idx]
     }
+    /// Bottleneck queue-discipline name (`TFMCC_QUEUE` vocabulary).
+    pub fn queue_name(&self) -> &'static str {
+        QUEUES[self.queue_idx]
+    }
 
     /// One-line human-readable description.
     pub fn describe(&self) -> String {
         format!(
-            "K={} R={} loss={} delay={}s churn={:?} seed={}",
+            "K={} R={} loss={} delay={}s churn={:?} queue={} seed={}",
             self.sessions(),
             self.receivers(),
             self.loss(),
             self.delay(),
             self.churn(),
+            self.queue_name(),
             self.seed
         )
     }
@@ -135,7 +157,7 @@ pub fn evaluate_scenario(scenario: &Scenario, duration: f64) -> ScenarioOutcome 
         right,
         1_000_000.0, // 8 Mbit/s shared bottleneck
         scenario.delay(),
-        QueueDiscipline::drop_tail(100),
+        queue_discipline(scenario.queue_name()),
     );
     if scenario.loss() > 0.0 {
         // Lossy in both directions: data packets on the way out, receiver
@@ -272,6 +294,7 @@ pub fn anneal(
         loss_idx: LOSS.len() / 2,
         delay_idx: DELAY.len() / 2,
         churn_idx: CHURN.len() / 2,
+        queue_idx: 0, // start from the classic drop-tail bottleneck
         seed: rng.gen::<u64>(),
     };
     let initial_outcome = evaluate_scenario(&current, duration);
@@ -288,12 +311,13 @@ pub fn anneal(
         let candidates: Vec<Scenario> = (0..CANDIDATES)
             .map(|_| {
                 let mut next = current;
-                match rng.gen_range(0..5u32) {
+                match rng.gen_range(0..6u32) {
                     0 => next.sessions_idx = rng.gen_range(0..SESSIONS.len()),
                     1 => next.receivers_idx = rng.gen_range(0..RECEIVERS.len()),
                     2 => next.loss_idx = rng.gen_range(0..LOSS.len()),
                     3 => next.delay_idx = rng.gen_range(0..DELAY.len()),
-                    _ => next.churn_idx = rng.gen_range(0..CHURN.len()),
+                    4 => next.churn_idx = rng.gen_range(0..CHURN.len()),
+                    _ => next.queue_idx = rng.gen_range(0..QUEUES.len()),
                 }
                 next.seed = rng.gen::<u64>();
                 next
@@ -372,6 +396,7 @@ pub fn to_replay(
         }
         None => r.set("churn", "none"),
     }
+    r.set("queue", scenario.queue_name());
     r.set_f64_bits("duration", duration);
     r.set_f64_bits("expected_jain", outcome.jain);
     r.set_f64_bits("expected_recovery", outcome.clr_recovery);
@@ -420,6 +445,15 @@ pub fn replay_scenario(replay: &Replay) -> Result<ScenarioOutcome, String> {
             .iter()
             .position(|&c| c == churn)
             .ok_or_else(|| format!("churn {churn:?} is not on the search grid"))?,
+        // Replays recorded before the queue-discipline grid existed carry no
+        // `queue` key; they were all drop-tail.
+        queue_idx: {
+            let queue = replay.get("queue").unwrap_or("drop-tail");
+            QUEUES
+                .iter()
+                .position(|&q| q == queue)
+                .ok_or_else(|| format!("queue '{queue}' is not on the search grid"))?
+        },
         seed: replay
             .require("seed")?
             .parse()
@@ -454,7 +488,7 @@ pub fn scenario_search(runner: &SweepRunner, scale: Scale) -> Figure {
 
     let mut fig = Figure::new(
         "scenario_search",
-        "Worst-case scenario search: annealing over churn/loss/RTT/session grids",
+        "Worst-case scenario search: annealing over churn/loss/RTT/session/queue grids",
         "iteration",
         "objective value",
     );
@@ -505,6 +539,7 @@ mod tests {
             loss_idx: 2, // 1% loss
             delay_idx: 1,
             churn_idx: 2, // 4s on / 4s off
+            queue_idx: 0, // drop-tail
             seed: 7,
         }
     }
@@ -545,6 +580,58 @@ mod tests {
         forged.set_f64_bits("expected_jain", outcome.jain + 0.25);
         let err = replay_scenario(&forged).unwrap_err();
         assert!(err.contains("Jain index diverged"), "{err}");
+    }
+
+    #[test]
+    fn aqm_points_evaluate_and_replay_round_trip() {
+        // A gentle-RED bottleneck point: still bit-reproducible, and the
+        // replay carries the queue name so it re-executes on the same
+        // discipline.  No random loss and no churn, so congestion alone
+        // fills the queue deep enough for RED's early drops to matter.
+        let scenario = Scenario {
+            loss_idx: 0,
+            churn_idx: 0,
+            queue_idx: 1, // gentle-red
+            ..tiny()
+        };
+        let a = evaluate_scenario(&scenario, 15.0);
+        let b = evaluate_scenario(&scenario, 15.0);
+        assert_eq!(a.jain.to_bits(), b.jain.to_bits());
+        let drop_tail = evaluate_scenario(
+            &Scenario {
+                queue_idx: 0,
+                ..scenario
+            },
+            15.0,
+        );
+        assert_ne!(
+            (a.jain.to_bits(), a.min_throughput.to_bits()),
+            (drop_tail.jain.to_bits(), drop_tail.min_throughput.to_bits()),
+            "the queue dimension must actually reach the bottleneck"
+        );
+        let replay = to_replay(Objective::WorstJain, &scenario, 15.0, &a);
+        assert_eq!(replay.get("queue"), Some("gentle-red"));
+        let parsed = Replay::parse(&replay.render()).unwrap();
+        let replayed = replay_scenario(&parsed).expect("AQM replay must match bit-exactly");
+        assert_eq!(replayed.jain.to_bits(), a.jain.to_bits());
+    }
+
+    #[test]
+    fn replays_without_a_queue_key_default_to_drop_tail() {
+        // Replays recorded before the queue grid existed must keep
+        // re-executing unchanged.
+        let outcome = evaluate_scenario(&tiny(), 15.0);
+        let replay = to_replay(Objective::WorstJain, &tiny(), 15.0, &outcome);
+        let legacy: String = replay
+            .render()
+            .lines()
+            .filter(|line| !line.starts_with("queue="))
+            .map(|line| format!("{line}\n"))
+            .collect();
+        let parsed = Replay::parse(&legacy).unwrap();
+        assert_eq!(parsed.get("queue"), None);
+        let replayed = replay_scenario(&parsed).expect("legacy replay must still match");
+        assert_eq!(replayed.jain.to_bits(), outcome.jain.to_bits());
     }
 
     #[test]

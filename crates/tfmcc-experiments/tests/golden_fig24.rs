@@ -1,0 +1,62 @@
+//! Golden-output regression test: the quick-scale Figure 24 (cross-protocol
+//! fairness matrix over an AQM bottleneck) JSON is pinned byte for byte.
+//!
+//! The pinned file was captured when the pluggable `QueueDiscipline` layer
+//! (gentle RED, CoDel) and the heterogeneous-protocol session wiring
+//! landed.  It covers every pairing of TFMCC, PGMCC, TFRC and TCP plus the
+//! four-way melee and the AQM robustness leg, all over the default
+//! gentle-RED bottleneck — so it pins the probabilistic-drop determinism
+//! contract end to end.  Any future change to the simulator core, the
+//! queue disciplines, a competitor protocol, or the JSON rendering that
+//! alters this output must be deliberate: regenerate with
+//!
+//! ```text
+//! cargo run --release -p tfmcc-experiments --bin fig24_fairness_matrix -- \
+//!     --quick --threads 2 --out crates/tfmcc-experiments/tests/golden/fig24_quick.json
+//! ```
+
+use std::sync::Mutex;
+
+use tfmcc_experiments::fairness_matrix::fig24_fairness_matrix;
+use tfmcc_experiments::{Scale, SweepRunner};
+
+const GOLDEN: &str = include_str!("golden/fig24_quick.json");
+
+/// Serializes the two tests: both run full simulations whose scheduler is
+/// chosen through the process-global `TFMCC_SCHEDULER` variable (and the
+/// queue discipline through `TFMCC_QUEUE`).
+static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+fn render_fig24() -> String {
+    std::env::remove_var("TFMCC_QUEUE");
+    let fig = fig24_fairness_matrix(&SweepRunner::new(2), Scale::Quick);
+    let mut rendered = fig.to_json().render();
+    rendered.push('\n');
+    rendered
+}
+
+#[test]
+fn fig24_quick_json_matches_golden() {
+    let _guard = ENV_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    std::env::remove_var("TFMCC_SCHEDULER");
+    assert_eq!(
+        render_fig24(),
+        GOLDEN,
+        "fig24 --quick output drifted from the pinned golden file"
+    );
+}
+
+/// The calendar-queue scheduler must reproduce the pinned golden byte for
+/// byte — the determinism contract of `netsim::events` applied to RED's
+/// probabilistic drops and CoDel's sojourn clocks.
+#[test]
+fn fig24_quick_json_matches_golden_under_calendar_scheduler() {
+    let _guard = ENV_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    std::env::set_var("TFMCC_SCHEDULER", "calendar");
+    let rendered = render_fig24();
+    std::env::remove_var("TFMCC_SCHEDULER");
+    assert_eq!(
+        rendered, GOLDEN,
+        "fig24 --quick output under the calendar scheduler drifted from the pinned golden file"
+    );
+}

@@ -48,6 +48,11 @@ pub enum PgmccMessage {
         cumulative: u64,
         /// Most recent sequence number received (for duplicate detection).
         latest: u64,
+        /// Total number of sequence holes the acker has observed so far.
+        /// The packet-level model never retransmits, so the cumulative
+        /// point skips holes; this counter is how loss still reaches the
+        /// sender's window (one halving per window of new holes).
+        lost_total: u64,
         /// Echo of the data packet's timestamp.
         echo_timestamp: f64,
         /// The receiver's smoothed loss rate estimate.

@@ -22,6 +22,8 @@ pub struct PgmccReceiverAgent {
     flow: FlowId,
     /// Next in-order sequence number expected.
     expected: u64,
+    /// Total number of missing packets observed (sequence holes).
+    lost_total: u64,
     /// Smoothed loss rate (EWMA over per-packet loss indications).
     loss_rate: f64,
     /// Timestamp of the most recent data packet (sender clock).
@@ -43,6 +45,7 @@ impl PgmccReceiverAgent {
             group,
             flow,
             expected: 0,
+            lost_total: 0,
             loss_rate: 0.0,
             last_timestamp: 0.0,
             is_acker: false,
@@ -121,6 +124,7 @@ impl Agent for PgmccReceiverAgent {
         // Loss estimate: exponentially weighted fraction of missing packets.
         if seq >= self.expected {
             let lost = seq - self.expected;
+            self.lost_total += lost;
             let weight = 0.05;
             // Each missing packet contributes a 1, the received packet a 0.
             for _ in 0..lost.min(64) {
@@ -134,6 +138,7 @@ impl Agent for PgmccReceiverAgent {
                 receiver: self.id,
                 cumulative: self.expected,
                 latest: seq,
+                lost_total: self.lost_total,
                 echo_timestamp: timestamp,
                 loss_rate: self.loss_rate,
             };

@@ -37,6 +37,14 @@ pub struct PgmccSenderAgent {
     /// Highest cumulative ACK from the acker.
     acked: u64,
     dup_acks: u32,
+    /// The acker's hole count as of the last processed ACK.  `u64::MAX`
+    /// marks a resync: the next ACK (e.g. the first from a new acker)
+    /// establishes the baseline without registering a loss event.
+    last_lost_total: u64,
+    /// Sequence number that must be cumulatively acknowledged before
+    /// another hole may halve the window again (one halving per window of
+    /// loss, as in TCP's fast recovery).
+    recovery_point: u64,
     tracker: AckerTracker,
     srtt: f64,
     stats: PgmccSenderStats,
@@ -58,6 +66,8 @@ impl PgmccSenderAgent {
             next_seq: 0,
             acked: 0,
             dup_acks: 0,
+            last_lost_total: u64::MAX,
+            recovery_point: 0,
             tracker: AckerTracker::new(f64::from(packet_size), 0.85),
             srtt: 0.2,
             stats: PgmccSenderStats::default(),
@@ -114,10 +124,12 @@ impl PgmccSenderAgent {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn on_ack(
         &mut self,
         ctx: &mut Context<'_>,
         cumulative: u64,
+        lost_total: u64,
         echo_timestamp: f64,
         loss_rate: f64,
         receiver: u64,
@@ -131,6 +143,21 @@ impl PgmccSenderAgent {
             // A new acker starts from a clean window state to avoid reacting
             // to the previous acker's sequence history.
             self.dup_acks = 0;
+            self.last_lost_total = u64::MAX;
+        }
+        // The cumulative point skips holes (no retransmission), so loss
+        // reaches the window through the acker's hole counter: any new
+        // holes halve the window, at most once per window in flight.
+        if self.last_lost_total == u64::MAX {
+            self.last_lost_total = lost_total;
+        } else if lost_total > self.last_lost_total {
+            self.last_lost_total = lost_total;
+            if cumulative > self.recovery_point {
+                self.stats.loss_events += 1;
+                self.ssthresh = (self.window / 2.0).max(2.0);
+                self.window = self.ssthresh;
+                self.recovery_point = self.next_seq;
+            }
         }
         if cumulative > self.acked {
             let newly = cumulative - self.acked;
@@ -206,10 +233,18 @@ impl Agent for PgmccSenderAgent {
             PgmccMessage::Ack {
                 receiver,
                 cumulative,
+                lost_total,
                 echo_timestamp,
                 loss_rate,
                 ..
-            } => self.on_ack(ctx, cumulative, echo_timestamp, loss_rate, receiver),
+            } => self.on_ack(
+                ctx,
+                cumulative,
+                lost_total,
+                echo_timestamp,
+                loss_rate,
+                receiver,
+            ),
             PgmccMessage::Report {
                 receiver,
                 echo_timestamp,
@@ -280,10 +315,10 @@ mod tests {
 
     #[test]
     fn loss_is_survived_and_reported_by_the_acker() {
-        // The packet-level model skips holes in the cumulative ACK
-        // (reliability is out of scope), so random loss mostly shows up as
-        // the acker's loss_rate driving the election — the window must stay
-        // in its legal range and data must keep flowing regardless.
+        // The cumulative ACK skips holes (reliability is out of scope), but
+        // the acker's hole counter must still drive window halvings, and
+        // its loss_rate the election — the window must stay in its legal
+        // range and data must keep flowing regardless.
         let mut sim = Simulator::new(412);
         let a = sim.add_node("a");
         let b = sim.add_node("b");

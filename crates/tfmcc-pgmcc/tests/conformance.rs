@@ -1,0 +1,110 @@
+//! Protocol-conformance suite for the PGMCC competitor: the acker-driven
+//! window must respond to data-path loss (dup-ACK halvings plus the timeout
+//! fallback), and two PGMCC flows sharing one bottleneck must converge to a
+//! fair allocation.  Mirrors the 5%-loss conformance test of `tfmcc-tfrc`,
+//! as a property over loss rates and seeds.
+
+use netsim::packet::AgentId;
+use netsim::prelude::*;
+use proptest::prelude::*;
+use tfmcc_pgmcc::{PgmccReceiverAgent, PgmccSenderAgent};
+
+/// Wires one PGMCC flow (sender on `s`, single receiver on `r`) with
+/// non-colliding addressing derived from `index`; returns the receiver.
+fn add_flow(sim: &mut Simulator, s: NodeId, r: NodeId, index: u16) -> AgentId {
+    let group = GroupId(u32::from(index) + 1);
+    let data_port = Port(7000 + 2 * index);
+    let sender_port = Port(7001 + 2 * index);
+    let flow = FlowId(u64::from(index) + 8);
+    let sender = sim.add_agent(
+        s,
+        sender_port,
+        Box::new(PgmccSenderAgent::new(group, data_port, flow, 1000)),
+    );
+    let sender_addr = sim.agent_addr(sender);
+    sim.add_agent(
+        r,
+        data_port,
+        Box::new(PgmccReceiverAgent::new(1, sender_addr, group, flow)),
+    )
+}
+
+/// Runs one PGMCC flow over a dedicated path with `loss` Bernoulli
+/// data-path loss and returns its steady-state throughput in bytes/second.
+fn run_path(loss: f64, seed: u64) -> f64 {
+    let mut sim = Simulator::new(seed);
+    let a = sim.add_node("a");
+    let b = sim.add_node("b");
+    let (down, _) = sim.add_duplex_link(a, b, 1_250_000.0, 0.02, QueueDiscipline::drop_tail(200));
+    if loss > 0.0 {
+        sim.set_link_loss(down, LossModel::Bernoulli { p: loss });
+    }
+    let receiver = add_flow(&mut sim, a, b, 0);
+    sim.run_until(SimTime::from_secs(90.0));
+    sim.agent::<PgmccReceiverAgent>(receiver)
+        .unwrap()
+        .meter()
+        .average_between(40.0, 85.0)
+}
+
+/// Jain's fairness index `(Σx)² / (n·Σx²)`.
+fn jain(rates: &[f64]) -> f64 {
+    let sum: f64 = rates.iter().sum();
+    let sq: f64 = rates.iter().map(|r| r * r).sum();
+    sum * sum / (rates.len() as f64 * sq)
+}
+
+proptest! {
+    /// Holes in the cumulative ACK stall it, three dup-ACKs halve the
+    /// window: a few percent of data-path loss must cost well over half of
+    /// a clean run's (pipe-limited) rate.
+    #[test]
+    fn pgmcc_rate_responds_to_path_loss(loss in 0.03f64..0.08, seed in 1u64..1_000) {
+        let clean = run_path(0.0, seed);
+        let lossy = run_path(loss, seed);
+        prop_assert!(lossy > 1_000.0, "the lossy flow must still progress: {lossy}");
+        prop_assert!(
+            lossy < clean * 0.5,
+            "{:.1}% loss must at least halve the rate: clean {clean}, lossy {lossy}",
+            loss * 100.0
+        );
+    }
+
+    /// Two PGMCC flows on one bottleneck converge to a fair share.  The
+    /// bottleneck runs gentle RED so the window clocks do not phase-lock on
+    /// a synchronized drop-tail overflow pattern.
+    #[test]
+    fn two_pgmcc_flows_share_a_bottleneck_fairly(seed in 1u64..1_000) {
+        let mut sim = Simulator::new(seed);
+        let left = sim.add_node("left");
+        let right = sim.add_node("right");
+        sim.add_duplex_link(left, right, 1_000_000.0, 0.02, QueueDiscipline::red_gentle(50));
+        let mut receivers = Vec::new();
+        for i in 0..2u16 {
+            let s = sim.add_node(&format!("s{i}"));
+            let r = sim.add_node(&format!("r{i}"));
+            sim.add_duplex_link(s, left, 1_250_000.0, 0.005, QueueDiscipline::drop_tail(60));
+            sim.add_duplex_link(
+                right,
+                r,
+                1_250_000.0,
+                0.005 + 0.002 * f64::from(i),
+                QueueDiscipline::drop_tail(60),
+            );
+            receivers.push(add_flow(&mut sim, s, r, i));
+        }
+        sim.run_until(SimTime::from_secs(80.0));
+        let rates: Vec<f64> = receivers
+            .iter()
+            .map(|&a| {
+                sim.agent::<PgmccReceiverAgent>(a)
+                    .unwrap()
+                    .meter()
+                    .average_between(30.0, 78.0)
+            })
+            .collect();
+        prop_assert!(rates.iter().all(|&r| r > 1_000.0), "a flow starved: {rates:?}");
+        let j = jain(&rates);
+        prop_assert!(j >= 0.9, "two PGMCC flows should share fairly, Jain {j} ({rates:?})");
+    }
+}

@@ -14,6 +14,9 @@
 //! --sessions N        number of concurrent TFMCC sessions for multi-session
 //!                     experiments (figures that sweep the session count pin
 //!                     it to N; single-session figures ignore the flag)
+//! --queue KIND        bottleneck queue discipline for figures with a
+//!                     pluggable bottleneck (fig24): `drop-tail`, `red`,
+//!                     `gentle-red` or `codel`
 //! ```
 //!
 //! `--threads=N`-style `=` forms are accepted too.  Scale resolution
@@ -42,6 +45,9 @@ pub struct RunnerArgs {
     pub scheduler: Option<String>,
     /// `--sessions N`, if given.
     pub sessions: Option<usize>,
+    /// `--queue KIND` (`drop-tail`, `red`, `gentle-red` or `codel`), if
+    /// given.
+    pub queue: Option<String>,
 }
 
 impl RunnerArgs {
@@ -53,7 +59,7 @@ impl RunnerArgs {
             Err(msg) => {
                 eprintln!("error: {msg}");
                 eprintln!(
-                    "usage: <bin> [--quick | --paper] [--threads N] [--out FILE] [--bench-out FILE] [--scheduler heap|calendar] [--sessions N]"
+                    "usage: <bin> [--quick | --paper] [--threads N] [--out FILE] [--bench-out FILE] [--scheduler heap|calendar] [--sessions N] [--queue drop-tail|red|gentle-red|codel]"
                 );
                 std::process::exit(2);
             }
@@ -114,6 +120,15 @@ impl RunnerArgs {
                         ));
                     }
                     parsed.scheduler = Some(v);
+                }
+                "--queue" => {
+                    let v = value(&mut it)?;
+                    if !matches!(v.as_str(), "drop-tail" | "red" | "gentle-red" | "codel") {
+                        return Err(format!(
+                            "invalid --queue value '{v}' (use 'drop-tail', 'red', 'gentle-red' or 'codel')"
+                        ));
+                    }
+                    parsed.queue = Some(v);
                 }
                 other => return Err(format!("unknown argument '{other}'")),
             }
@@ -179,6 +194,16 @@ mod tests {
         assert!(parse(&["--sessions", "0"]).is_err());
         assert!(parse(&["--sessions", "many"]).is_err());
         assert!(parse(&["--sessions"]).is_err());
+    }
+
+    #[test]
+    fn parses_queue() {
+        let args = parse(&["--queue", "gentle-red"]).unwrap();
+        assert_eq!(args.queue.as_deref(), Some("gentle-red"));
+        let args = parse(&["--queue=codel"]).unwrap();
+        assert_eq!(args.queue.as_deref(), Some("codel"));
+        assert!(parse(&["--queue", "fifo"]).is_err());
+        assert!(parse(&["--queue"]).is_err());
     }
 
     #[test]

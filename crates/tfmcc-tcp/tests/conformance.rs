@@ -1,0 +1,100 @@
+//! Protocol-conformance suite for the TCP competitor: the sim-driven
+//! throughput must respond to path loss the way Reno's control equation
+//! says (rate ∝ 1/√p), and two TCP flows sharing one bottleneck must
+//! converge to a fair allocation.  Mirrors the 5%-loss conformance test of
+//! `tfmcc-tfrc`, as a property over loss rates and seeds.
+
+use netsim::prelude::*;
+use proptest::prelude::*;
+use tfmcc_tcp::{TcpSender, TcpSenderConfig, TcpSink};
+
+/// Runs one TCP flow over a dedicated path with `loss` Bernoulli data-path
+/// loss and returns its steady-state throughput in bytes/second.
+fn run_path(loss: f64, seed: u64) -> f64 {
+    let mut sim = Simulator::new(seed);
+    let a = sim.add_node("a");
+    let b = sim.add_node("b");
+    let (down, _) = sim.add_duplex_link(a, b, 1_250_000.0, 0.02, QueueDiscipline::drop_tail(200));
+    if loss > 0.0 {
+        sim.set_link_loss(down, LossModel::Bernoulli { p: loss });
+    }
+    let sink = sim.add_agent(b, Port(1), Box::new(TcpSink::new(1.0)));
+    sim.add_agent(
+        a,
+        Port(2),
+        Box::new(TcpSender::new(TcpSenderConfig::new(
+            Address::new(b, Port(1)),
+            FlowId(77),
+        ))),
+    );
+    sim.run_until(SimTime::from_secs(90.0));
+    sim.agent::<TcpSink>(sink)
+        .unwrap()
+        .meter()
+        .average_between(40.0, 85.0)
+}
+
+/// Jain's fairness index `(Σx)² / (n·Σx²)`.
+fn jain(rates: &[f64]) -> f64 {
+    let sum: f64 = rates.iter().sum();
+    let sq: f64 = rates.iter().map(|r| r * r).sum();
+    sum * sum / (rates.len() as f64 * sq)
+}
+
+proptest! {
+    /// Reno's equation: throughput falls with √p, so a few percent of loss
+    /// must cost well over half of a clean run's (pipe-limited) rate.
+    #[test]
+    fn tcp_rate_responds_to_path_loss(loss in 0.03f64..0.08, seed in 1u64..1_000) {
+        let clean = run_path(0.0, seed);
+        let lossy = run_path(loss, seed);
+        prop_assert!(lossy > 1_000.0, "the lossy flow must still progress: {lossy}");
+        prop_assert!(
+            lossy < clean * 0.5,
+            "{:.1}% loss must at least halve the rate: clean {clean}, lossy {lossy}",
+            loss * 100.0
+        );
+    }
+
+    /// Two TCP flows on one bottleneck converge to a fair share.  The
+    /// bottleneck runs gentle RED so the flows do not phase-lock on a
+    /// synchronized drop-tail overflow pattern.
+    #[test]
+    fn two_tcp_flows_share_a_bottleneck_fairly(seed in 1u64..1_000) {
+        let mut sim = Simulator::new(seed);
+        let left = sim.add_node("left");
+        let right = sim.add_node("right");
+        sim.add_duplex_link(left, right, 1_000_000.0, 0.02, QueueDiscipline::red_gentle(50));
+        let mut sinks = Vec::new();
+        for i in 0..2u16 {
+            let s = sim.add_node(&format!("s{i}"));
+            let r = sim.add_node(&format!("r{i}"));
+            sim.add_duplex_link(s, left, 1_250_000.0, 0.005, QueueDiscipline::drop_tail(60));
+            sim.add_duplex_link(
+                right,
+                r,
+                1_250_000.0,
+                0.005 + 0.002 * f64::from(i),
+                QueueDiscipline::drop_tail(60),
+            );
+            let sink = sim.add_agent(r, Port(1), Box::new(TcpSink::new(1.0)));
+            sim.add_agent(
+                s,
+                Port(2),
+                Box::new(TcpSender::new(TcpSenderConfig::new(
+                    Address::new(r, Port(1)),
+                    FlowId(100 + u64::from(i)),
+                ))),
+            );
+            sinks.push(sink);
+        }
+        sim.run_until(SimTime::from_secs(80.0));
+        let rates: Vec<f64> = sinks
+            .iter()
+            .map(|&s| sim.agent::<TcpSink>(s).unwrap().meter().average_between(30.0, 78.0))
+            .collect();
+        prop_assert!(rates.iter().all(|&r| r > 1_000.0), "a flow starved: {rates:?}");
+        let j = jain(&rates);
+        prop_assert!(j >= 0.9, "two TCP flows should share fairly, Jain {j} ({rates:?})");
+    }
+}

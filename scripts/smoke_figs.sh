@@ -20,9 +20,9 @@ if [ "${#bins[@]}" -eq 0 ]; then
     exit 1
 fi
 # Guard against the glob silently losing key scenarios: the large-scale
-# churn workload and the multi-session fairness workload must always be
-# part of the smoke.
-for required in fig22_churn fig23_intertfmcc; do
+# churn workload, the multi-session fairness workload and the
+# cross-protocol fairness matrix must always be part of the smoke.
+for required in fig22_churn fig23_intertfmcc fig24_fairness_matrix; do
     if ! printf '%s\n' "${bins[@]}" | grep -qx "$required"; then
         echo "error: $required missing from the experiment binaries" >&2
         exit 1
@@ -60,14 +60,15 @@ for bin in "${bins[@]}"; do
     echo "ok   $bin"
 done
 
-# Second-scheduler smoke: rerun the churn workload and the multi-session
-# fairness workload under the binary-heap event scheduler (the fallback to
-# the calendar-queue default).  Both schedulers must produce byte-identical
-# figures (the netsim determinism contract), so each heap run is compared
-# against the default run's JSON, keeping the fallback scheduler exercised
-# and its equivalence enforced end to end — including across concurrent
-# TFMCC sessions.
-for bin in fig22_churn fig23_intertfmcc; do
+# Second-scheduler smoke: rerun the churn workload, the multi-session
+# fairness workload and the cross-protocol fairness matrix under the
+# binary-heap event scheduler (the fallback to the calendar-queue default).
+# Both schedulers must produce byte-identical figures (the netsim
+# determinism contract), so each heap run is compared against the default
+# run's JSON, keeping the fallback scheduler exercised and its equivalence
+# enforced end to end — including across concurrent TFMCC sessions and
+# gentle-RED/CoDel probabilistic drops.
+for bin in fig22_churn fig23_intertfmcc fig24_fairness_matrix; do
     heap_json="$out_dir/$bin.heap.json"
     heap_csv="$out_dir/$bin.heap.csv"
     rm -f "$heap_json" "$heap_csv"
