@@ -5,14 +5,18 @@
 //! # The scheduler contract
 //!
 //! A queue stores `(time, seq, item)` entries, where `seq` is a caller-owned
-//! strictly increasing sequence number (the simulator assigns one per
+//! sequence number, unique among live entries (the simulator assigns one per
 //! scheduled event).  [`EventQueue::pop`] must return entries in ascending
-//! `(time, seq)` order — time first, insertion order within a time — under
-//! the simulator's no-past-scheduling invariant: every `schedule` happens at
-//! a time `>=` the last popped entry's time.  Both implementations honour
-//! this exactly, so swapping one for the other reproduces every simulation
-//! bit for bit (the `scheduler_equivalence` property test and the golden
-//! figure outputs pin this).
+//! `(time, seq)` order — time first, `seq` within a time.  Entries may be
+//! scheduled at times *behind* the last popped entry's time: the
+//! domain-sharded runtime replays cross-domain handoffs and deferred
+//! cut-link events with their original timestamps, which lie behind the
+//! shard's clock at the window boundary.  A late insert simply pops next (in
+//! `(time, seq)` order among the remaining entries); it cannot, of course,
+//! retroactively order before entries that were already popped.  Both
+//! implementations honour all of this exactly, so swapping one for the other
+//! reproduces every simulation bit for bit (the `scheduler_equivalence`
+//! property test and the golden figure outputs pin this).
 //!
 //! # Cancellation
 //!
@@ -90,9 +94,9 @@ impl SchedulerKind {
 /// See the [module documentation](self) for the ordering and cancellation
 /// contract shared by all implementations.
 pub trait EventQueue<T>: Send {
-    /// Enqueues `item` at `time`.  `seq` must be strictly greater than every
-    /// previously scheduled `seq`, and `time` must not precede the time of
-    /// the last popped entry.
+    /// Enqueues `item` at `time`.  `seq` must be unique among live entries;
+    /// `time` may lie behind the last popped entry's time (a late insert
+    /// pops next, see the [module documentation](self)).
     fn schedule(&mut self, time: SimTime, seq: u64, item: T);
 
     /// Removes and returns the entry with the smallest `(time, seq)`.
@@ -688,6 +692,36 @@ mod tests {
         }
         fn unit(&mut self) -> f64 {
             (self.next() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+
+    /// Both implementations accept inserts behind the last popped entry's
+    /// time (the domain-sharded runtime replays cross-domain handoffs and
+    /// deferred cut-link events at their original, past timestamps) and
+    /// surface them next, in `(time, seq)` order among the remaining
+    /// entries.
+    #[test]
+    fn accepts_late_inserts_behind_the_clock() {
+        let mut heap: HeapQueue<u64> = HeapQueue::new();
+        let mut calendar: CalendarQueue<u64> = CalendarQueue::new();
+        for q in [
+            &mut heap as &mut dyn EventQueue<u64>,
+            &mut calendar as &mut dyn EventQueue<u64>,
+        ] {
+            q.schedule(t(1.0), 0, 0);
+            q.schedule(t(5.0), 1, 1);
+            assert_eq!(q.pop().map(|(time, ..)| time), Some(t(1.0)));
+            // The clock is at 1.0; replay two handoffs behind it, one of
+            // them tying an existing time with a smaller seq band.
+            q.schedule(t(0.5), 100, 2);
+            q.schedule(t(0.25), 101, 3);
+            q.schedule(t(5.0), 50, 4);
+            assert_eq!(q.peek_time(), Some(t(0.25)));
+            let order: Vec<(SimTime, u64)> = drain(q);
+            assert_eq!(
+                order,
+                vec![(t(0.25), 101), (t(0.5), 100), (t(5.0), 1), (t(5.0), 50)]
+            );
         }
     }
 

@@ -193,6 +193,68 @@ impl StatsRegistry {
     pub fn counter_names(&self) -> Vec<String> {
         self.counters.keys().cloned().collect()
     }
+
+    /// Folds another registry into this one: counters are summed, series are
+    /// appended and re-sorted by sample time (the sort is stable, so
+    /// same-time samples keep existing-before-absorbed order).  The domain
+    /// sharding layer merges per-shard registries back into the master with
+    /// this — counter increments are whole-valued, so the f64 sums are exact
+    /// regardless of merge order.
+    pub fn absorb(&mut self, other: StatsRegistry) {
+        for (name, value) in other.counters {
+            *self.counters.entry(name).or_insert(0.0) += value;
+        }
+        for (name, mut samples) in other.series {
+            let dst = self.series.entry(name).or_default();
+            dst.append(&mut samples);
+            dst.sort_by(|a, b| {
+                a.0.partial_cmp(&b.0)
+                    .expect("sample times are finite SimTime seconds")
+            });
+        }
+    }
+
+    /// A 64-bit FNV-1a digest over every counter and series (names plus the
+    /// raw f64 bit patterns of the values).  Two registries digest equal iff
+    /// they are bit-identical, which the domain-sharding equivalence gates
+    /// (`scale_probe domains=K`, `BENCH_parallel.json`) compare across
+    /// domain counts.
+    pub fn digest(&self) -> u64 {
+        let mut h = Fnv1a::new();
+        for (name, value) in &self.counters {
+            h.write(name.as_bytes());
+            h.write(&value.to_bits().to_le_bytes());
+        }
+        for (name, samples) in &self.series {
+            h.write(name.as_bytes());
+            for &(t, v) in samples {
+                h.write(&t.to_bits().to_le_bytes());
+                h.write(&v.to_bits().to_le_bytes());
+            }
+        }
+        h.finish()
+    }
+}
+
+/// Minimal FNV-1a, kept local so the digest needs no dependencies and no
+/// `std::hash` machinery (hasher state is explicit and deterministic).
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    fn new() -> Self {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
 }
 
 #[cfg(test)]

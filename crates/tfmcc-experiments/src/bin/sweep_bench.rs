@@ -8,9 +8,12 @@
 //! ordered-index incremental sender bookkeeping up to 10⁵ receivers) and
 //! the hybrid population-tier bench (one TFMCC session at 10⁵ and 10⁶
 //! receivers with a packet-level CLR cohort and a fluid bulk, reporting
-//! wall time and live heap bytes per fluid receiver), writing the timings
-//! as `BENCH_fanout.json`, `BENCH_events.json`, `BENCH_feedback.json` and
-//! `BENCH_hybrid.json` next to the trajectory file.
+//! wall time and live heap bytes per fluid receiver) and the
+//! domain-sharding bench (the 10⁴- and 10⁵-receiver CBR star at 1, 2 and
+//! 4 bottleneck domains, hard-gating on digest equality across domain
+//! counts), writing the timings as `BENCH_fanout.json`,
+//! `BENCH_events.json`, `BENCH_feedback.json`, `BENCH_hybrid.json` and
+//! `BENCH_parallel.json` next to the trajectory file.
 //!
 //! Usage: `sweep_bench [--quick | --paper] [--threads N] [--out FILE]`
 //!
@@ -128,6 +131,58 @@ fn measure_hybrid(fluid_count: u64) -> HybridMeasurement {
         population: sender.session_population(),
         fluid_reports: session.fluid_agent(&sim, 0).reports_sent(),
         clr_in_cohort: sender.clr().is_some_and(|clr| clr.0 <= 4),
+    }
+}
+
+/// One domain-sharding measurement: the scale-probe CBR star (N legs, one
+/// multicast CBR source, per-leg `GroupSink`s) run to `sim_secs` at a given
+/// domain count.
+struct ParallelMeasurement {
+    wall_secs: f64,
+    events: u64,
+    digest: u64,
+    delivered: u64,
+}
+
+fn measure_parallel(receivers: usize, domains: usize, sim_secs: f64) -> ParallelMeasurement {
+    let started = Instant::now();
+    let mut sim = Simulator::new(1);
+    sim.set_domains(domains);
+    let legs: Vec<StarLeg> = (0..receivers)
+        .map(|_| StarLeg::clean(125_000.0, 0.02))
+        .collect();
+    let st = star(&mut sim, &StarConfig::default(), &legs);
+    let group = GroupId(1);
+    let sinks: Vec<_> = st
+        .receivers
+        .iter()
+        .map(|&r| sim.add_agent(r, Port(5), Box::new(GroupSink::new(group, 1.0))))
+        .collect();
+    sim.add_agent(
+        st.sender,
+        Port(5),
+        Box::new(CbrSource::new(
+            Dest::Multicast {
+                group,
+                port: Port(5),
+            },
+            FlowId(1),
+            1000,
+            50_000.0,
+            0.0,
+        )),
+    );
+    sim.run_until(SimTime::from_secs(sim_secs));
+    let wall_secs = started.elapsed().as_secs_f64();
+    let delivered = sinks
+        .iter()
+        .map(|&s| sim.agent::<GroupSink>(s).unwrap().packets())
+        .sum();
+    ParallelMeasurement {
+        wall_secs,
+        events: sim.events_processed(),
+        digest: sim.stats().digest(),
+        delivered,
     }
 }
 
@@ -439,4 +494,81 @@ fn main() {
         std::process::exit(1);
     }
     eprintln!("# wrote {}", hybrid_out.display());
+
+    // The domain-sharding bench: the scale-probe CBR star at 10⁴ and 10⁵
+    // receivers, run single-queue and sharded across 2 and 4 bottleneck
+    // domains.  Digest equality across domain counts is a hard gate — the
+    // parallel path is only allowed to be fast because it is byte-identical;
+    // the speedup itself is advisory (warn-only) because CI runner core
+    // counts vary.  The receiver counts are the benchmark's defining sizes
+    // and run at every scale; --quick only shortens the simulated time.
+    let parallel_sim_secs = scale.pick(2.0, 10.0);
+    let mut parallel_trajectory = Vec::new();
+    let mut parallel_headline = 0.0;
+    for receivers in [10_000usize, 100_000] {
+        let mut single_wall = 0.0;
+        let mut single_digest = 0;
+        let mut best_sharded_wall = f64::INFINITY;
+        for domains in [1usize, 2, 4] {
+            let m = measure_parallel(receivers, domains, parallel_sim_secs);
+            eprintln!(
+                "# parallel {receivers} receivers, {domains} domain(s): {:.3}s wall, {:.0} ev/s, digest {:016x}",
+                m.wall_secs,
+                m.events as f64 / m.wall_secs,
+                m.digest,
+            );
+            if domains == 1 {
+                single_wall = m.wall_secs;
+                single_digest = m.digest;
+            } else {
+                if m.digest != single_digest {
+                    eprintln!(
+                        "error: sharded run diverged at {receivers} receivers, {domains} domains: digest {:016x} != {:016x}",
+                        m.digest, single_digest
+                    );
+                    std::process::exit(1);
+                }
+                best_sharded_wall = best_sharded_wall.min(m.wall_secs);
+            }
+            parallel_trajectory.push(Json::Obj(vec![
+                ("receivers".into(), Json::num(receivers as f64)),
+                ("domains".into(), Json::num(domains as f64)),
+                ("wall_secs".into(), Json::num(m.wall_secs)),
+                (
+                    "events_per_sec".into(),
+                    Json::num(m.events as f64 / m.wall_secs),
+                ),
+                ("events".into(), Json::num(m.events as f64)),
+                ("delivered_packets".into(), Json::num(m.delivered as f64)),
+                ("digest".into(), Json::str(format!("{:016x}", m.digest))),
+            ]));
+        }
+        let speedup = single_wall / best_sharded_wall;
+        if receivers == 100_000 {
+            parallel_headline = speedup;
+            // Warn-only: the documented ≥1.5× target needs ≥4 free cores,
+            // which loaded CI runners don't reliably have.
+            if speedup < 1.2 {
+                eprintln!(
+                    "warning: domain-sharding speedup {speedup:.2}x at {receivers} receivers is below the 1.2x floor"
+                );
+            }
+        }
+        eprintln!("# parallel {receivers} receivers: best sharded speedup {speedup:.2}x");
+    }
+    let parallel_doc = Json::Obj(vec![
+        ("name".into(), Json::str("parallel_domain_bench")),
+        ("sim_secs".into(), Json::num(parallel_sim_secs)),
+        ("trajectory".into(), Json::Arr(parallel_trajectory)),
+        ("headline_receivers".into(), Json::num(100_000.0)),
+        ("headline_speedup".into(), Json::num(parallel_headline)),
+    ]);
+    let parallel_out = out.with_file_name("BENCH_parallel.json");
+    let mut parallel_body = parallel_doc.render();
+    parallel_body.push('\n');
+    if let Err(err) = std::fs::write(&parallel_out, parallel_body) {
+        eprintln!("error: cannot write {}: {err}", parallel_out.display());
+        std::process::exit(1);
+    }
+    eprintln!("# wrote {}", parallel_out.display());
 }
